@@ -1,0 +1,76 @@
+// readys-eval loads a trained READYS checkpoint and compares it with the HEFT
+// and MCT baselines across the noise sweep on a chosen problem.
+//
+// Usage:
+//
+//	readys-eval -kind cholesky -T 8 -cpus 2 -gpus 2 -models models
+//	readys-eval -kind cholesky -train-T 8 -T 12 -cpus 4 -gpus 0   # transfer
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"readys/internal/exp"
+	"readys/internal/taskgraph"
+)
+
+func main() {
+	var (
+		kindStr = flag.String("kind", "cholesky", "DAG family: cholesky, lu or qr")
+		tiles   = flag.Int("T", 8, "tile count of the evaluation DAG")
+		trainT  = flag.Int("train-T", 0, "tile count the agent was trained on (default: same as -T)")
+		cpus    = flag.Int("cpus", 2, "number of CPUs")
+		gpus    = flag.Int("gpus", 2, "number of GPUs")
+		models  = flag.String("models", exp.DefaultModelsDir(), "model directory")
+		runs    = flag.Int("runs", exp.EvalRuns, "runs per σ point")
+		seed    = flag.Int64("seed", 42, "evaluation seed")
+		sigmas  = flag.String("sigmas", "", "comma-separated σ values (default: the standard sweep)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	)
+	flag.Parse()
+
+	kind, err := taskgraph.KindFromString(*kindStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tt := *trainT
+	if tt == 0 {
+		tt = *tiles
+	}
+	spec := exp.DefaultAgentSpec(kind, tt, *cpus, *gpus)
+	agent, err := exp.LoadAgent(spec, *models)
+	if err != nil {
+		log.Fatalf("loading %s: %v (train it with readys-train)", spec.ModelPath(*models), err)
+	}
+
+	sweep := exp.Sigmas
+	if *sigmas != "" {
+		sweep = nil
+		for _, s := range strings.Split(*sigmas, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				log.Fatalf("bad sigma %q: %v", s, err)
+			}
+			sweep = append(sweep, v)
+		}
+	}
+
+	tab := exp.Table{
+		Title:  fmt.Sprintf("READYS (trained T=%d) vs HEFT/MCT on %s T=%d, %dCPU+%dGPU", tt, kind, *tiles, *cpus, *gpus),
+		Header: []string{"sigma", "readys_ms", "heft_ms", "mct_ms", "improve_vs_heft", "improve_vs_mct"},
+	}
+	for _, pt := range exp.Compare(agent, kind, *tiles, *cpus, *gpus, sweep, *runs, *seed) {
+		tab.AddRow(exp.F(pt.Sigma), exp.F(pt.READYS.Mean), exp.F(pt.HEFT.Mean), exp.F(pt.MCT.Mean),
+			exp.F(pt.ImproveHEFT), exp.F(pt.ImproveMCT))
+	}
+	if *csv {
+		fmt.Fprint(os.Stdout, tab.CSV())
+	} else {
+		fmt.Fprint(os.Stdout, tab.Text())
+	}
+}

@@ -1,0 +1,67 @@
+// readys-fig regenerates the data behind a figure of the paper's evaluation
+// section and writes it as CSV (or an aligned table on the terminal).
+//
+// Usage:
+//
+//	readys-fig -fig 3 -models models -o figure3.csv
+//	readys-fig -fig 7
+//
+// Figures 3-6 need the corresponding trained checkpoints (readys-train -all);
+// missing agents are trained on the fly, which takes minutes per agent.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"readys/internal/exp"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "3", "figure: 3, 4, 5, 6, 7, ablation or search")
+		models   = flag.String("models", exp.DefaultModelsDir(), "model directory")
+		out      = flag.String("o", "", "output CSV path (default: stdout as text)")
+		runs     = flag.Int("runs", 10, "figure 7: episodes per size")
+		episodes = flag.Int("episodes", 4000, "ablation/search: training episodes per variant")
+		trials   = flag.Int("trials", 6, "search: number of sampled configurations")
+	)
+	flag.Parse()
+
+	var (
+		tab *exp.Table
+		err error
+	)
+	switch *fig {
+	case "3":
+		tab, err = exp.Figure3(*models)
+	case "4":
+		tab, err = exp.Figure4(*models)
+	case "5":
+		tab, err = exp.Figure5(*models)
+	case "6":
+		tab, err = exp.Figure6(*models)
+	case "7":
+		tab, _ = exp.Figure7([]int{2, 4, 6, 8, 10, 12}, *runs)
+	case "ablation":
+		tab, err = exp.Ablation(*models, *episodes)
+	case "search":
+		_, tab, err = exp.RandomSearch(rand.New(rand.NewSource(1)), *trials, *episodes)
+	default:
+		log.Fatalf("unknown figure %q (want 3-7, ablation or search)", *fig)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *out == "" {
+		fmt.Fprint(os.Stdout, tab.Text())
+		return
+	}
+	if err := os.WriteFile(*out, []byte(tab.CSV()), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d rows)\n", *out, len(tab.Rows))
+}

@@ -1,0 +1,80 @@
+// readys-report regenerates the data of every figure of the paper's
+// evaluation section in one run, writing one CSV per figure plus a combined
+// Markdown report. It is the command that produced the measured numbers in
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	readys-report -models models -out results
+//
+// All figure agents must already be trained (readys-train -all).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"readys/internal/exp"
+)
+
+func main() {
+	var (
+		models  = flag.String("models", exp.DefaultModelsDir(), "model directory")
+		out     = flag.String("out", "results", "output directory")
+		skipFig = flag.String("skip", "", "comma-separated figure ids to skip (e.g. 4,6)")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	skip := map[string]bool{}
+	for _, s := range strings.Split(*skipFig, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			skip[s] = true
+		}
+	}
+
+	type job struct {
+		id  string
+		run func() (*exp.Table, error)
+	}
+	jobs := []job{
+		{"3", func() (*exp.Table, error) { return exp.Figure3(*models) }},
+		{"4", func() (*exp.Table, error) { return exp.Figure4(*models) }},
+		{"5", func() (*exp.Table, error) { return exp.Figure5(*models) }},
+		{"6", func() (*exp.Table, error) { return exp.Figure6(*models) }},
+		{"7", func() (*exp.Table, error) { t, _ := exp.Figure7([]int{2, 4, 6, 8, 10, 12}, 10); return t, nil }},
+	}
+
+	var report strings.Builder
+	report.WriteString("# READYS reproduction report\n\ngenerated " + time.Now().UTC().Format(time.RFC3339) + "\n")
+	for _, j := range jobs {
+		if skip[j.id] {
+			fmt.Printf("figure %s: skipped\n", j.id)
+			continue
+		}
+		start := time.Now()
+		tab, err := j.run()
+		if err != nil {
+			log.Fatalf("figure %s: %v", j.id, err)
+		}
+		csvPath := filepath.Join(*out, "figure"+j.id+".csv")
+		if err := os.WriteFile(csvPath, []byte(tab.CSV()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("figure %s: %d rows in %s → %s\n", j.id, len(tab.Rows), time.Since(start).Round(time.Second), csvPath)
+		report.WriteString("\n## " + tab.Title + "\n\n```\n" + tab.Text() + "```\n")
+	}
+
+	reportPath := filepath.Join(*out, "report.md")
+	if err := os.WriteFile(reportPath, []byte(report.String()), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote", reportPath)
+}

@@ -1,0 +1,115 @@
+// readys-train trains a READYS agent on one (kernel, size, platform)
+// combination and saves its checkpoint, or — with -all — trains every agent
+// the paper's figures need.
+//
+// Usage:
+//
+//	readys-train -kind cholesky -T 8 -cpus 2 -gpus 2 -episodes 2500 -out models
+//	readys-train -all -out models
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"readys/internal/exp"
+	"readys/internal/rl"
+	"readys/internal/taskgraph"
+)
+
+func main() {
+	var (
+		kindStr  = flag.String("kind", "cholesky", "DAG family: cholesky, lu or qr")
+		tiles    = flag.Int("T", 4, "tile count per matrix dimension")
+		cpus     = flag.Int("cpus", 2, "number of CPUs")
+		gpus     = flag.Int("gpus", 2, "number of GPUs")
+		episodes = flag.Int("episodes", 0, "training episodes (0 = size-scaled default)")
+		out      = flag.String("out", exp.DefaultModelsDir(), "model output directory")
+		all      = flag.Bool("all", false, "train every agent needed by the paper's figures")
+		window   = flag.Int("window", 2, "sub-DAG window depth w")
+		layers   = flag.Int("layers", 2, "number of GCN layers g")
+		hidden   = flag.Int("hidden", 32, "embedding width")
+		seed     = flag.Int64("seed", 1, "training seed")
+		quiet    = flag.Bool("quiet", false, "suppress per-interval progress")
+	)
+	flag.Parse()
+
+	if *all {
+		if err := trainAll(*out, *quiet); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	kind, err := taskgraph.KindFromString(*kindStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := exp.DefaultAgentSpec(kind, *tiles, *cpus, *gpus)
+	spec.Window, spec.Layers, spec.Hidden, spec.Seed = *window, *layers, *hidden, *seed
+	eps := *episodes
+	if eps == 0 {
+		eps = exp.EpisodesFor(kind, *tiles)
+	}
+	if err := trainOne(spec, *out, eps, *quiet); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func trainOne(spec exp.AgentSpec, dir string, episodes int, quiet bool) error {
+	if _, err := os.Stat(spec.ModelPath(dir)); err == nil {
+		fmt.Printf("%s: checkpoint exists, skipping\n", spec.Name())
+		return nil
+	}
+	fmt.Printf("training %s for %d episodes...\n", spec.Name(), episodes)
+	start := time.Now()
+	interval := episodes / 10
+	if interval == 0 {
+		interval = 1
+	}
+	_, hist, err := exp.TrainAgent(spec, dir, episodes, func(st rl.EpisodeStats) {
+		if !quiet && st.Episode%interval == 0 {
+			fmt.Printf("  ep %5d  reward %+.3f  makespan %8.1f  entropy %.3f\n",
+				st.Episode, st.Reward, st.Makespan, st.Entropy)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("done in %s: HEFT baseline %.1f, final mean reward %+.3f → %s\n",
+		time.Since(start).Round(time.Second), hist.BaselineMakespan,
+		hist.FinalMeanReward(100), spec.ModelPath(dir))
+	return nil
+}
+
+// trainAll trains the agents of Figure 3 (three kernels × T∈{2,4,8} on
+// 2 CPUs + 2 GPUs) and of the transfer experiments of Figures 4-6 (Cholesky
+// T∈{4,6,8} on 4 CPUs, 2 CPUs + 2 GPUs and 4 GPUs). Existing checkpoints are
+// skipped, so the command is resumable.
+func trainAll(dir string, quiet bool) error {
+	var specs []exp.AgentSpec
+	for _, kind := range []taskgraph.Kind{taskgraph.Cholesky, taskgraph.LU, taskgraph.QR} {
+		for _, T := range []int{2, 4, 8} {
+			specs = append(specs, exp.DefaultAgentSpec(kind, T, 2, 2))
+		}
+	}
+	for _, plat := range [][2]int{{4, 0}, {2, 2}, {0, 4}} {
+		for _, T := range []int{4, 6, 8} {
+			specs = append(specs, exp.DefaultAgentSpec(taskgraph.Cholesky, T, plat[0], plat[1]))
+		}
+	}
+	seen := map[string]bool{}
+	for _, spec := range specs {
+		if seen[spec.Name()] {
+			continue
+		}
+		seen[spec.Name()] = true
+		if err := trainOne(spec, dir, exp.EpisodesFor(spec.Kind, spec.T), quiet); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module readys
+
+go 1.22

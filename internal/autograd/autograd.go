@@ -1,0 +1,488 @@
+// Package autograd implements tape-based reverse-mode automatic
+// differentiation over dense matrices.
+//
+// A Tape records every operation in creation order; Backward seeds the
+// gradient of a scalar (1x1) output and replays the tape in reverse,
+// accumulating gradients into every node that requires them. The op set is
+// exactly what the READYS policy/value network of the paper (Fig. 2) and the
+// A2C loss need: matrix products, bias broadcasts, ReLU/Tanh/Exp
+// nonlinearities, node-set pooling (mean/max over rows), row gathering for
+// ready-task selection, concatenation, log-softmax, and scalar arithmetic
+// (scalars are represented as 1x1 matrices).
+//
+// Gradient correctness for every op is property-tested against central
+// finite differences in autograd_test.go.
+package autograd
+
+import (
+	"fmt"
+	"math"
+
+	"readys/internal/tensor"
+)
+
+// Node is a value in the computation graph together with its accumulated
+// gradient. Nodes are created through Tape methods and must not be mutated
+// after creation.
+type Node struct {
+	Value *tensor.Matrix
+	// Grad has the same shape as Value. It is nil until the first
+	// gradient is accumulated into the node.
+	Grad *tensor.Matrix
+
+	requiresGrad bool
+	backward     func()
+}
+
+// RequiresGrad reports whether gradients flow into this node.
+func (n *Node) RequiresGrad() bool { return n.requiresGrad }
+
+// accum adds g into n.Grad, allocating it on first use. It is a no-op for
+// nodes that do not require gradients, so op backward functions can call it
+// unconditionally.
+func (n *Node) accum(g *tensor.Matrix) {
+	if !n.requiresGrad {
+		return
+	}
+	if n.Grad == nil {
+		n.Grad = tensor.New(n.Value.Rows, n.Value.Cols)
+	}
+	tensor.AddInPlace(n.Grad, g)
+}
+
+// Tape records operations for a single forward pass. A Tape is not safe for
+// concurrent use; create one tape per goroutine.
+type Tape struct {
+	nodes []*Node
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+// Len returns the number of recorded nodes (useful in tests and for sizing
+// diagnostics).
+func (t *Tape) Len() int { return len(t.nodes) }
+
+func (t *Tape) push(n *Node) *Node {
+	t.nodes = append(t.nodes, n)
+	return n
+}
+
+// Const records a node through which no gradient flows (inputs, masks).
+// The matrix is used as-is and must not be mutated afterwards.
+func (t *Tape) Const(m *tensor.Matrix) *Node {
+	return t.push(&Node{Value: m})
+}
+
+// Var records a differentiable leaf (a parameter or an input whose gradient
+// is wanted). After Backward, the accumulated gradient is in Node.Grad.
+func (t *Tape) Var(m *tensor.Matrix) *Node {
+	return t.push(&Node{Value: m, requiresGrad: true})
+}
+
+// Backward runs reverse-mode differentiation from root, which must be a 1x1
+// scalar node; its gradient is seeded with 1. It may be called once per tape.
+func (t *Tape) Backward(root *Node) {
+	if root.Value.Rows != 1 || root.Value.Cols != 1 {
+		panic(fmt.Sprintf("autograd: Backward root must be 1x1, got %dx%d", root.Value.Rows, root.Value.Cols))
+	}
+	if !root.requiresGrad {
+		return // nothing on the tape influences the root
+	}
+	root.accum(tensor.Full(1, 1, 1))
+	for i := len(t.nodes) - 1; i >= 0; i-- {
+		n := t.nodes[i]
+		if n.backward != nil && n.Grad != nil {
+			n.backward()
+		}
+	}
+}
+
+func anyGrad(ns ...*Node) bool {
+	for _, n := range ns {
+		if n.requiresGrad {
+			return true
+		}
+	}
+	return false
+}
+
+// MatMul records c = a*b.
+func (t *Tape) MatMul(a, b *Node) *Node {
+	out := &Node{Value: tensor.MatMul(a.Value, b.Value), requiresGrad: anyGrad(a, b)}
+	if out.requiresGrad {
+		out.backward = func() {
+			if a.requiresGrad {
+				a.accum(tensor.MatMulTransB(out.Grad, b.Value))
+			}
+			if b.requiresGrad {
+				b.accum(tensor.MatMulTransA(a.Value, out.Grad))
+			}
+		}
+	}
+	return t.push(out)
+}
+
+// Add records c = a + b (same shape).
+func (t *Tape) Add(a, b *Node) *Node {
+	out := &Node{Value: tensor.Add(a.Value, b.Value), requiresGrad: anyGrad(a, b)}
+	if out.requiresGrad {
+		out.backward = func() {
+			a.accum(out.Grad)
+			b.accum(out.Grad)
+		}
+	}
+	return t.push(out)
+}
+
+// Sub records c = a - b.
+func (t *Tape) Sub(a, b *Node) *Node {
+	out := &Node{Value: tensor.Sub(a.Value, b.Value), requiresGrad: anyGrad(a, b)}
+	if out.requiresGrad {
+		out.backward = func() {
+			a.accum(out.Grad)
+			b.accum(tensor.Scale(out.Grad, -1))
+		}
+	}
+	return t.push(out)
+}
+
+// Mul records the elementwise product c = a ⊙ b.
+func (t *Tape) Mul(a, b *Node) *Node {
+	out := &Node{Value: tensor.Mul(a.Value, b.Value), requiresGrad: anyGrad(a, b)}
+	if out.requiresGrad {
+		out.backward = func() {
+			if a.requiresGrad {
+				a.accum(tensor.Mul(out.Grad, b.Value))
+			}
+			if b.requiresGrad {
+				b.accum(tensor.Mul(out.Grad, a.Value))
+			}
+		}
+	}
+	return t.push(out)
+}
+
+// Scale records c = s*a for a constant s.
+func (t *Tape) Scale(a *Node, s float64) *Node {
+	out := &Node{Value: tensor.Scale(a.Value, s), requiresGrad: a.requiresGrad}
+	if out.requiresGrad {
+		out.backward = func() { a.accum(tensor.Scale(out.Grad, s)) }
+	}
+	return t.push(out)
+}
+
+// AddConst records c = a + s for a constant s.
+func (t *Tape) AddConst(a *Node, s float64) *Node {
+	out := &Node{Value: tensor.Apply(a.Value, func(v float64) float64 { return v + s }), requiresGrad: a.requiresGrad}
+	if out.requiresGrad {
+		out.backward = func() { a.accum(out.Grad) }
+	}
+	return t.push(out)
+}
+
+// AddRowVector records c[i,:] = a[i,:] + v where v is 1 x Cols (bias broadcast).
+func (t *Tape) AddRowVector(a, v *Node) *Node {
+	out := &Node{Value: tensor.AddRowVector(a.Value, v.Value), requiresGrad: anyGrad(a, v)}
+	if out.requiresGrad {
+		out.backward = func() {
+			a.accum(out.Grad)
+			if v.requiresGrad {
+				// Bias gradient: sum of out.Grad over rows.
+				g := tensor.New(1, v.Value.Cols)
+				for i := 0; i < out.Grad.Rows; i++ {
+					row := out.Grad.Row(i)
+					for j, x := range row {
+						g.Data[j] += x
+					}
+				}
+				v.accum(g)
+			}
+		}
+	}
+	return t.push(out)
+}
+
+// ReLU records c = max(a, 0) elementwise.
+func (t *Tape) ReLU(a *Node) *Node {
+	out := &Node{Value: tensor.Apply(a.Value, func(v float64) float64 {
+		if v > 0 {
+			return v
+		}
+		return 0
+	}), requiresGrad: a.requiresGrad}
+	if out.requiresGrad {
+		out.backward = func() {
+			g := tensor.New(a.Value.Rows, a.Value.Cols)
+			for i, v := range a.Value.Data {
+				if v > 0 {
+					g.Data[i] = out.Grad.Data[i]
+				}
+			}
+			a.accum(g)
+		}
+	}
+	return t.push(out)
+}
+
+// LeakyReLU records c = a if a>0 else slope*a.
+func (t *Tape) LeakyReLU(a *Node, slope float64) *Node {
+	out := &Node{Value: tensor.Apply(a.Value, func(v float64) float64 {
+		if v > 0 {
+			return v
+		}
+		return slope * v
+	}), requiresGrad: a.requiresGrad}
+	if out.requiresGrad {
+		out.backward = func() {
+			g := tensor.New(a.Value.Rows, a.Value.Cols)
+			for i, v := range a.Value.Data {
+				if v > 0 {
+					g.Data[i] = out.Grad.Data[i]
+				} else {
+					g.Data[i] = slope * out.Grad.Data[i]
+				}
+			}
+			a.accum(g)
+		}
+	}
+	return t.push(out)
+}
+
+// Tanh records c = tanh(a) elementwise.
+func (t *Tape) Tanh(a *Node) *Node {
+	val := tensor.Apply(a.Value, math.Tanh)
+	out := &Node{Value: val, requiresGrad: a.requiresGrad}
+	if out.requiresGrad {
+		out.backward = func() {
+			g := tensor.New(val.Rows, val.Cols)
+			for i, y := range val.Data {
+				g.Data[i] = out.Grad.Data[i] * (1 - y*y)
+			}
+			a.accum(g)
+		}
+	}
+	return t.push(out)
+}
+
+// Exp records c = exp(a) elementwise.
+func (t *Tape) Exp(a *Node) *Node {
+	val := tensor.Apply(a.Value, math.Exp)
+	out := &Node{Value: val, requiresGrad: a.requiresGrad}
+	if out.requiresGrad {
+		out.backward = func() {
+			a.accum(tensor.Mul(out.Grad, val))
+		}
+	}
+	return t.push(out)
+}
+
+// Square records c = a² elementwise.
+func (t *Tape) Square(a *Node) *Node {
+	out := &Node{Value: tensor.Mul(a.Value, a.Value), requiresGrad: a.requiresGrad}
+	if out.requiresGrad {
+		out.backward = func() {
+			g := tensor.Mul(out.Grad, a.Value)
+			a.accum(tensor.Scale(g, 2))
+		}
+	}
+	return t.push(out)
+}
+
+// SumAll records the 1x1 scalar sum of every entry of a.
+func (t *Tape) SumAll(a *Node) *Node {
+	out := &Node{Value: tensor.Full(1, 1, tensor.Sum(a.Value)), requiresGrad: a.requiresGrad}
+	if out.requiresGrad {
+		out.backward = func() {
+			a.accum(tensor.Full(a.Value.Rows, a.Value.Cols, out.Grad.Data[0]))
+		}
+	}
+	return t.push(out)
+}
+
+// MeanRows records the 1 x Cols vector of column means (mean pooling over the
+// node set, used by the critic head).
+func (t *Tape) MeanRows(a *Node) *Node {
+	out := &Node{Value: tensor.MeanRows(a.Value), requiresGrad: a.requiresGrad}
+	if out.requiresGrad {
+		rows := a.Value.Rows
+		out.backward = func() {
+			if rows == 0 {
+				return
+			}
+			g := tensor.New(rows, a.Value.Cols)
+			inv := 1.0 / float64(rows)
+			for i := 0; i < rows; i++ {
+				grow := g.Row(i)
+				for j, v := range out.Grad.Data {
+					grow[j] = v * inv
+				}
+			}
+			a.accum(g)
+		}
+	}
+	return t.push(out)
+}
+
+// MaxRows records the 1 x Cols vector of column maxima (max pooling over the
+// node set, used for the ∅-action score). The gradient routes to the argmax
+// row of each column.
+func (t *Tape) MaxRows(a *Node) *Node {
+	val, arg := tensor.MaxRows(a.Value)
+	out := &Node{Value: val, requiresGrad: a.requiresGrad}
+	if out.requiresGrad {
+		out.backward = func() {
+			if a.Value.Rows == 0 {
+				return
+			}
+			g := tensor.New(a.Value.Rows, a.Value.Cols)
+			for j, i := range arg {
+				g.Set(i, j, out.Grad.Data[j])
+			}
+			a.accum(g)
+		}
+	}
+	return t.push(out)
+}
+
+// GatherRows records the matrix whose i-th row is a's row idx[i] (selecting
+// the embeddings of the ready tasks). Gradients scatter-add back, so repeated
+// indices are handled correctly.
+func (t *Tape) GatherRows(a *Node, idx []int) *Node {
+	ids := append([]int(nil), idx...)
+	out := &Node{Value: tensor.GatherRows(a.Value, ids), requiresGrad: a.requiresGrad}
+	if out.requiresGrad {
+		out.backward = func() {
+			g := tensor.New(a.Value.Rows, a.Value.Cols)
+			for i, r := range ids {
+				grow := g.Row(r)
+				orow := out.Grad.Row(i)
+				for j, v := range orow {
+					grow[j] += v
+				}
+			}
+			a.accum(g)
+		}
+	}
+	return t.push(out)
+}
+
+// ConcatCols records [a | b].
+func (t *Tape) ConcatCols(a, b *Node) *Node {
+	out := &Node{Value: tensor.ConcatCols(a.Value, b.Value), requiresGrad: anyGrad(a, b)}
+	if out.requiresGrad {
+		ac := a.Value.Cols
+		out.backward = func() {
+			if a.requiresGrad {
+				g := tensor.New(a.Value.Rows, a.Value.Cols)
+				for i := 0; i < g.Rows; i++ {
+					copy(g.Row(i), out.Grad.Row(i)[:ac])
+				}
+				a.accum(g)
+			}
+			if b.requiresGrad {
+				g := tensor.New(b.Value.Rows, b.Value.Cols)
+				for i := 0; i < g.Rows; i++ {
+					copy(g.Row(i), out.Grad.Row(i)[ac:])
+				}
+				b.accum(g)
+			}
+		}
+	}
+	return t.push(out)
+}
+
+// ConcatRows records the vertical concatenation of nodes (all with equal
+// column counts); used to stack per-task scores with the ∅-action score.
+func (t *Tape) ConcatRows(nodes ...*Node) *Node {
+	if len(nodes) == 0 {
+		panic("autograd: ConcatRows needs at least one node")
+	}
+	val := nodes[0].Value
+	req := nodes[0].requiresGrad
+	for _, n := range nodes[1:] {
+		val = tensor.ConcatRows(val, n.Value)
+		req = req || n.requiresGrad
+	}
+	out := &Node{Value: val, requiresGrad: req}
+	if out.requiresGrad {
+		parts := append([]*Node(nil), nodes...)
+		out.backward = func() {
+			offset := 0
+			for _, p := range parts {
+				rows := p.Value.Rows
+				if p.requiresGrad {
+					g := tensor.New(rows, p.Value.Cols)
+					copy(g.Data, out.Grad.Data[offset*out.Grad.Cols:(offset+rows)*out.Grad.Cols])
+					p.accum(g)
+				}
+				offset += rows
+			}
+		}
+	}
+	return t.push(out)
+}
+
+// LogSoftmaxCol records the log-softmax of an n x 1 column vector in a
+// numerically stable way (max-shifted).
+func (t *Tape) LogSoftmaxCol(a *Node) *Node {
+	if a.Value.Cols != 1 {
+		panic(fmt.Sprintf("autograd: LogSoftmaxCol wants n x 1, got %dx%d", a.Value.Rows, a.Value.Cols))
+	}
+	n := a.Value.Rows
+	maxv := math.Inf(-1)
+	for _, v := range a.Value.Data {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for _, v := range a.Value.Data {
+		sum += math.Exp(v - maxv)
+	}
+	logZ := maxv + math.Log(sum)
+	val := tensor.New(n, 1)
+	for i, v := range a.Value.Data {
+		val.Data[i] = v - logZ
+	}
+	out := &Node{Value: val, requiresGrad: a.requiresGrad}
+	if out.requiresGrad {
+		out.backward = func() {
+			// d logsoftmax: dx_i = g_i - softmax_i * Σ g.
+			var gsum float64
+			for _, v := range out.Grad.Data {
+				gsum += v
+			}
+			g := tensor.New(n, 1)
+			for i := range g.Data {
+				g.Data[i] = out.Grad.Data[i] - math.Exp(val.Data[i])*gsum
+			}
+			a.accum(g)
+		}
+	}
+	return t.push(out)
+}
+
+// Pick records the 1x1 scalar a[i,j].
+func (t *Tape) Pick(a *Node, i, j int) *Node {
+	out := &Node{Value: tensor.Full(1, 1, a.Value.At(i, j)), requiresGrad: a.requiresGrad}
+	if out.requiresGrad {
+		out.backward = func() {
+			g := tensor.New(a.Value.Rows, a.Value.Cols)
+			g.Set(i, j, out.Grad.Data[0])
+			a.accum(g)
+		}
+	}
+	return t.push(out)
+}
+
+// Neg records c = -a.
+func (t *Tape) Neg(a *Node) *Node { return t.Scale(a, -1) }
+
+// Scalar returns the single value of a 1x1 node.
+func Scalar(n *Node) float64 {
+	if n.Value.Rows != 1 || n.Value.Cols != 1 {
+		panic(fmt.Sprintf("autograd: Scalar on %dx%d node", n.Value.Rows, n.Value.Cols))
+	}
+	return n.Value.Data[0]
+}

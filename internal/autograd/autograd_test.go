@@ -1,0 +1,260 @@
+package autograd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"readys/internal/tensor"
+)
+
+// checkGrad validates reverse-mode gradients of f against central finite
+// differences for every input matrix. f must build a 1x1 scalar from the
+// tape-bound inputs and must be deterministic.
+func checkGrad(t *testing.T, name string, f func(tp *Tape, xs []*Node) *Node, inputs []*tensor.Matrix, tol float64) {
+	t.Helper()
+	tp := NewTape()
+	vars := make([]*Node, len(inputs))
+	for i, m := range inputs {
+		vars[i] = tp.Var(m)
+	}
+	out := f(tp, vars)
+	tp.Backward(out)
+
+	const eps = 1e-6
+	for vi, m := range inputs {
+		for di := range m.Data {
+			orig := m.Data[di]
+			m.Data[di] = orig + eps
+			plus := evalScalar(f, inputs)
+			m.Data[di] = orig - eps
+			minus := evalScalar(f, inputs)
+			m.Data[di] = orig
+			want := (plus - minus) / (2 * eps)
+			var got float64
+			if vars[vi].Grad != nil {
+				got = vars[vi].Grad.Data[di]
+			}
+			if math.Abs(got-want) > tol*(1+math.Abs(want)) {
+				t.Fatalf("%s: grad input %d elem %d = %v, finite diff %v", name, vi, di, got, want)
+			}
+		}
+	}
+}
+
+func evalScalar(f func(tp *Tape, xs []*Node) *Node, inputs []*tensor.Matrix) float64 {
+	tp := NewTape()
+	vars := make([]*Node, len(inputs))
+	for i, m := range inputs {
+		vars[i] = tp.Var(m)
+	}
+	return Scalar(f(tp, vars))
+}
+
+func randMat(rng *rand.Rand, r, c int) *tensor.Matrix {
+	return tensor.RandNormal(rng, r, c, 1)
+}
+
+func TestGradMatMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	checkGrad(t, "matmul", func(tp *Tape, xs []*Node) *Node {
+		return tp.SumAll(tp.MatMul(xs[0], xs[1]))
+	}, []*tensor.Matrix{randMat(rng, 3, 4), randMat(rng, 4, 2)}, 1e-5)
+}
+
+func TestGradAddSubMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	checkGrad(t, "add-sub-mul", func(tp *Tape, xs []*Node) *Node {
+		s := tp.Mul(tp.Add(xs[0], xs[1]), tp.Sub(xs[0], xs[1]))
+		return tp.SumAll(s)
+	}, []*tensor.Matrix{randMat(rng, 2, 3), randMat(rng, 2, 3)}, 1e-5)
+}
+
+func TestGradScaleAddConst(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	checkGrad(t, "scale", func(tp *Tape, xs []*Node) *Node {
+		return tp.SumAll(tp.AddConst(tp.Scale(xs[0], -2.5), 3))
+	}, []*tensor.Matrix{randMat(rng, 2, 2)}, 1e-6)
+}
+
+func TestGradAddRowVector(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	checkGrad(t, "bias", func(tp *Tape, xs []*Node) *Node {
+		return tp.SumAll(tp.Square(tp.AddRowVector(xs[0], xs[1])))
+	}, []*tensor.Matrix{randMat(rng, 3, 4), randMat(rng, 1, 4)}, 1e-5)
+}
+
+func TestGradReLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// Shift inputs away from 0 where ReLU is non-differentiable.
+	m := randMat(rng, 4, 4)
+	for i := range m.Data {
+		if math.Abs(m.Data[i]) < 0.05 {
+			m.Data[i] = 0.1
+		}
+	}
+	checkGrad(t, "relu", func(tp *Tape, xs []*Node) *Node {
+		return tp.SumAll(tp.Square(tp.ReLU(xs[0])))
+	}, []*tensor.Matrix{m}, 1e-5)
+}
+
+func TestGradLeakyReLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := randMat(rng, 3, 3)
+	for i := range m.Data {
+		if math.Abs(m.Data[i]) < 0.05 {
+			m.Data[i] = -0.2
+		}
+	}
+	checkGrad(t, "leakyrelu", func(tp *Tape, xs []*Node) *Node {
+		return tp.SumAll(tp.Square(tp.LeakyReLU(xs[0], 0.1)))
+	}, []*tensor.Matrix{m}, 1e-5)
+}
+
+func TestGradTanhExp(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	checkGrad(t, "tanh-exp", func(tp *Tape, xs []*Node) *Node {
+		return tp.SumAll(tp.Exp(tp.Tanh(xs[0])))
+	}, []*tensor.Matrix{randMat(rng, 2, 3)}, 1e-5)
+}
+
+func TestGradMeanRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	checkGrad(t, "meanrows", func(tp *Tape, xs []*Node) *Node {
+		return tp.SumAll(tp.Square(tp.MeanRows(xs[0])))
+	}, []*tensor.Matrix{randMat(rng, 5, 3)}, 1e-5)
+}
+
+func TestGradMaxRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	// Spread values so the argmax is stable under the finite-difference eps.
+	m := randMat(rng, 4, 3)
+	for i := range m.Data {
+		m.Data[i] *= 10
+	}
+	checkGrad(t, "maxrows", func(tp *Tape, xs []*Node) *Node {
+		return tp.SumAll(tp.Square(tp.MaxRows(xs[0])))
+	}, []*tensor.Matrix{m}, 1e-5)
+}
+
+func TestGradGatherRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	checkGrad(t, "gather", func(tp *Tape, xs []*Node) *Node {
+		// Repeated index 2 exercises scatter-add.
+		return tp.SumAll(tp.Square(tp.GatherRows(xs[0], []int{2, 0, 2})))
+	}, []*tensor.Matrix{randMat(rng, 4, 3)}, 1e-5)
+}
+
+func TestGradConcat(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	checkGrad(t, "concat", func(tp *Tape, xs []*Node) *Node {
+		h := tp.ConcatCols(xs[0], xs[1])
+		v := tp.ConcatRows(h, h)
+		return tp.SumAll(tp.Square(v))
+	}, []*tensor.Matrix{randMat(rng, 2, 2), randMat(rng, 2, 3)}, 1e-5)
+}
+
+func TestGradLogSoftmax(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	checkGrad(t, "logsoftmax", func(tp *Tape, xs []*Node) *Node {
+		ls := tp.LogSoftmaxCol(xs[0])
+		// Weighted negative log likelihood of entry 1 plus entropy-ish term.
+		pick := tp.Pick(ls, 1, 0)
+		ent := tp.SumAll(tp.Mul(tp.Exp(ls), ls))
+		return tp.Add(tp.Neg(pick), tp.Scale(ent, 0.3))
+	}, []*tensor.Matrix{randMat(rng, 5, 1)}, 1e-4)
+}
+
+func TestGradPick(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	checkGrad(t, "pick", func(tp *Tape, xs []*Node) *Node {
+		return tp.Square(tp.Pick(xs[0], 1, 2))
+	}, []*tensor.Matrix{randMat(rng, 3, 4)}, 1e-6)
+}
+
+func TestGradComposite(t *testing.T) {
+	// A miniature version of the actual policy head: GCN-ish propagate, pool,
+	// project, softmax, NLL + value MSE — gradients must flow end-to-end.
+	rng := rand.New(rand.NewSource(14))
+	adj := randMat(rng, 5, 5) // stands in for the normalised adjacency
+	checkGrad(t, "composite", func(tp *Tape, xs []*Node) *Node {
+		x, w1, w2, vproj := xs[0], xs[1], xs[2], xs[3]
+		a := tp.Const(adj)
+		h := tp.ReLU(tp.MatMul(tp.MatMul(a, x), w1))
+		h = tp.ReLU(tp.MatMul(tp.MatMul(a, h), w2))
+		scores := tp.GatherRows(h, []int{0, 2, 4})
+		col := tp.MatMul(scores, vproj) // 3x1
+		ls := tp.LogSoftmaxCol(col)
+		nll := tp.Neg(tp.Pick(ls, 1, 0))
+		v := tp.MatMul(tp.MeanRows(h), vproj)
+		mse := tp.Square(tp.AddConst(v, -0.37))
+		return tp.Add(nll, tp.Scale(mse, 0.5))
+	}, []*tensor.Matrix{
+		randMat(rng, 5, 4),
+		randMat(rng, 4, 6),
+		randMat(rng, 6, 6),
+		randMat(rng, 6, 1),
+	}, 1e-4)
+}
+
+func TestLogSoftmaxIsNormalisedProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	f := func(n8 uint8, scale float64) bool {
+		n := int(n8%10) + 1
+		if math.IsNaN(scale) || math.IsInf(scale, 0) {
+			scale = 1
+		}
+		// Large magnitudes stress numerical stability.
+		m := tensor.RandNormal(rng, n, 1, 1+math.Mod(math.Abs(scale), 100))
+		tp := NewTape()
+		ls := tp.LogSoftmaxCol(tp.Const(m))
+		var sum float64
+		for _, v := range ls.Value.Data {
+			if math.IsNaN(v) || v > 1e-9 {
+				return false
+			}
+			sum += math.Exp(v)
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBackwardRequiresScalarRoot(t *testing.T) {
+	tp := NewTape()
+	n := tp.Var(tensor.New(2, 2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Backward on non-scalar should panic")
+		}
+	}()
+	tp.Backward(n)
+}
+
+func TestConstGetsNoGrad(t *testing.T) {
+	tp := NewTape()
+	c := tp.Const(tensor.Full(2, 2, 1))
+	v := tp.Var(tensor.Full(2, 2, 2))
+	out := tp.SumAll(tp.Mul(c, v))
+	tp.Backward(out)
+	if c.Grad != nil {
+		t.Fatal("const accumulated gradient")
+	}
+	if v.Grad == nil || v.Grad.At(0, 0) != 1 {
+		t.Fatalf("var gradient wrong: %v", v.Grad)
+	}
+}
+
+func TestGradAccumulatesOverReuse(t *testing.T) {
+	// Using the same node twice must sum both gradient paths.
+	tp := NewTape()
+	x := tp.Var(tensor.Full(1, 1, 3))
+	y := tp.Add(x, x) // dy/dx = 2
+	tp.Backward(tp.SumAll(y))
+	if x.Grad.Data[0] != 2 {
+		t.Fatalf("grad = %v, want 2", x.Grad.Data[0])
+	}
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"readys/internal/autograd"
+	"readys/internal/nn"
+)
+
+// Config holds the agent's architectural hyper-parameters (§V-D).
+type Config struct {
+	// Window is the sub-DAG depth w (the paper searches w ∈ [0, 3]).
+	Window int
+	// Layers is the number of GCN layers g (the paper uses g ≥ w so that
+	// information can flow from the window frontier to the ready tasks).
+	Layers int
+	// Hidden is the embedding width.
+	Hidden int
+	// Directed switches the GCN propagation operator from the symmetric
+	// D̃^{-1/2}ÃD̃^{-1/2} of the paper to the row-normalised downstream
+	// operator D̃^{-1}Ã (ablation: information flows only from a task to its
+	// descendants).
+	Directed bool
+	// Seed initialises the parameters.
+	Seed int64
+}
+
+// DefaultConfig mirrors the paper's best-performing region of the
+// hyper-parameter search: window 2, two GCN layers.
+func DefaultConfig() Config {
+	return Config{Window: 2, Layers: 2, Hidden: 64, Seed: 1}
+}
+
+// Agent is the READYS policy/value network of Fig. 2.
+type Agent struct {
+	Cfg Config
+
+	input  *nn.Linear // NumNodeFeatures -> Hidden
+	gcn    []*nn.GCN  // Hidden -> Hidden, Cfg.Layers of them
+	actor  *nn.Linear // Hidden -> 1: per-ready-task score
+	proc   *nn.Linear // NumProcFeatures -> Hidden: processor embedding
+	idle   *nn.Linear // 2*Hidden -> 1: ∅-action score
+	critic *nn.Linear // Hidden -> 1: state value
+
+	params *nn.ParamSet
+}
+
+// NewAgent builds an agent with freshly initialised parameters.
+func NewAgent(cfg Config) *Agent {
+	if cfg.Hidden <= 0 || cfg.Layers < 0 || cfg.Window < 0 {
+		panic(fmt.Sprintf("core: invalid config %+v", cfg))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	a := &Agent{Cfg: cfg}
+	a.input = nn.NewLinear(rng, "input", NumNodeFeatures, cfg.Hidden)
+	for l := 0; l < cfg.Layers; l++ {
+		a.gcn = append(a.gcn, nn.NewGCN(rng, fmt.Sprintf("gcn%d", l), cfg.Hidden, cfg.Hidden))
+	}
+	a.actor = nn.NewLinear(rng, "actor", cfg.Hidden, 1)
+	a.proc = nn.NewLinear(rng, "proc", NumProcFeatures, cfg.Hidden)
+	a.idle = nn.NewLinear(rng, "idle", 2*cfg.Hidden, 1)
+	a.critic = nn.NewLinear(rng, "critic", cfg.Hidden, 1)
+
+	a.params = nn.NewParamSet()
+	a.params.Add(a.input.Params()...)
+	for _, g := range a.gcn {
+		a.params.Add(g.Params()...)
+	}
+	a.params.Add(a.actor.Params()...)
+	a.params.Add(a.proc.Params()...)
+	a.params.Add(a.idle.Params()...)
+	a.params.Add(a.critic.Params()...)
+	return a
+}
+
+// Params exposes the trainable parameters (for the optimizer and
+// checkpointing).
+func (a *Agent) Params() *nn.ParamSet { return a.params }
+
+// Forward is the result of one policy/value evaluation: everything the A2C
+// trainer needs to build its loss on the decision's tape.
+type Forward struct {
+	Binding *nn.Binding
+	// LogProbs is the NumActions x 1 log-softmax over actions: one score per
+	// ready task, plus — when the ∅ action is legal — a final idle entry.
+	LogProbs *autograd.Node
+	// Value is the critic's 1x1 state-value estimate.
+	Value *autograd.Node
+	// IdleIndex is the action index of ∅, or -1 when masked.
+	IdleIndex int
+	// NumActions is the action-space size.
+	NumActions int
+}
+
+// Forward evaluates the network on an encoded state. The caller chooses an
+// action from LogProbs (Sample or Argmax) and maps it back through
+// EncodedState.ReadyTasks.
+func (a *Agent) Forward(es *EncodedState) *Forward {
+	if len(es.ReadyRows) == 0 {
+		panic("core: Forward with no ready task")
+	}
+	b := nn.NewBinding()
+	tp := b.Tape
+
+	// Node embeddings: input projection then the GCN stack.
+	h := tp.ReLU(a.input.Forward(b, tp.Const(es.X)))
+	norm := tp.Const(es.Norm)
+	for _, g := range a.gcn {
+		h = g.Forward(b, norm, h)
+	}
+
+	// Actor: one score per ready task.
+	readyEmb := tp.GatherRows(h, es.ReadyRows)
+	scores := a.actor.Forward(b, readyEmb) // k x 1
+
+	idleIdx := -1
+	if es.AllowIdle {
+		// ∅ score from the processor embedding and the max-pooled DAG
+		// representation (Fig. 2).
+		procEmb := tp.ReLU(a.proc.Forward(b, tp.Const(es.Proc)))       // 1 x Hidden
+		pooled := tp.MaxRows(h)                                        // 1 x Hidden
+		idleScore := a.idle.Forward(b, tp.ConcatCols(procEmb, pooled)) // 1 x 1
+		scores = tp.ConcatRows(scores, idleScore)
+		idleIdx = len(es.ReadyRows)
+	}
+
+	logProbs := tp.LogSoftmaxCol(scores)
+
+	// Critic: mean-pool then one-dimensional projection.
+	value := a.critic.Forward(b, tp.MeanRows(h))
+
+	return &Forward{
+		Binding:    b,
+		LogProbs:   logProbs,
+		Value:      value,
+		IdleIndex:  idleIdx,
+		NumActions: len(es.ReadyRows) + boolToInt(es.AllowIdle),
+	}
+}
+
+// Sample draws an action index from the policy distribution.
+func (f *Forward) Sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	var cum float64
+	last := f.NumActions - 1
+	for i := 0; i < f.NumActions; i++ {
+		cum += math.Exp(f.LogProbs.Value.Data[i])
+		if u < cum {
+			return i
+		}
+	}
+	return last
+}
+
+// SampleTemperature draws an action from the distribution sharpened by the
+// given temperature: pᵢ ∝ exp(log πᵢ / τ). τ→0 approaches Argmax, τ=1 is
+// Sample. Low-temperature sampling keeps the learned preferences while
+// escaping the rare degenerate argmax loops (a policy whose mode is ∅ in
+// some recurring state would otherwise idle forever on it).
+func (f *Forward) SampleTemperature(rng *rand.Rand, tau float64) int {
+	if tau <= 0 {
+		return f.Argmax()
+	}
+	maxv := math.Inf(-1)
+	for i := 0; i < f.NumActions; i++ {
+		if v := f.LogProbs.Value.Data[i] / tau; v > maxv {
+			maxv = v
+		}
+	}
+	var z float64
+	w := make([]float64, f.NumActions)
+	for i := 0; i < f.NumActions; i++ {
+		w[i] = math.Exp(f.LogProbs.Value.Data[i]/tau - maxv)
+		z += w[i]
+	}
+	u := rng.Float64() * z
+	var cum float64
+	for i := 0; i < f.NumActions; i++ {
+		cum += w[i]
+		if u < cum {
+			return i
+		}
+	}
+	return f.NumActions - 1
+}
+
+// Argmax returns the most probable action index.
+func (f *Forward) Argmax() int {
+	best, bestV := 0, math.Inf(-1)
+	for i := 0; i < f.NumActions; i++ {
+		if v := f.LogProbs.Value.Data[i]; v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// Entropy builds the (differentiable) entropy of the policy distribution on
+// the forward pass's tape: H = −Σ p log p.
+func (f *Forward) Entropy() *autograd.Node {
+	tp := f.Binding.Tape
+	p := tp.Exp(f.LogProbs)
+	return tp.Neg(tp.SumAll(tp.Mul(p, f.LogProbs)))
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math"
+
+	"readys/internal/nn"
+	"readys/internal/platform"
+	"readys/internal/sim"
+	"readys/internal/taskgraph"
+	"readys/internal/tensor"
+)
+
+// Per-node raw feature layout (§III-B, extended with explicit per-resource
+// expected durations so the network can learn the unrelated-machines
+// structure). All features are normalised to keep the representation
+// transferable across problem sizes.
+const (
+	featSucc  = iota // |S(i)| / degreeNorm (clamped)
+	featPred         // |P(i)| / degreeNorm (clamped)
+	featType0        // one-hot kernel type
+	featType1
+	featType2
+	featType3
+	featReady     // 1 if the task is ready
+	featRunning   // 1 if the task is currently executing
+	featRemaining // estimated remaining expected time / maxE (running only)
+	featF0        // descendant-type summary F(i)
+	featF1
+	featF2
+	featF3
+	featDurCPU // E(i, CPU) / maxE
+	featDurGPU // E(i, GPU) / maxE
+
+	numTaskFeatures
+)
+
+// Resource-context features, appended to every node row ("sub-DAG enriched
+// with the computing resource state information", Fig. 2) and fed separately
+// to the ∅-action head.
+const (
+	procIsCPU = iota // current processor type one-hot
+	procIsGPU
+	procFreeCPU  // fraction of CPUs currently free
+	procFreeGPU  // fraction of GPUs currently free
+	procWaitCPU  // min estimated wait over CPUs / maxE
+	procWaitGPU  // min estimated wait over GPUs / maxE
+	procReadyCnt // |ready| / window size
+
+	NumProcFeatures
+)
+
+// NumNodeFeatures is the width of each node row: task features plus the
+// broadcast resource context.
+const NumNodeFeatures = numTaskFeatures + NumProcFeatures
+
+// degreeNorm bounds the degree features; factorisation DAGs have per-node
+// degrees well below this for the sizes studied.
+const degreeNorm = 12.0
+
+// EncodedState is the network-ready representation of one scheduling
+// decision: the windowed sub-DAG with features and normalised adjacency, the
+// rows corresponding to ready tasks (the candidate actions) and the resource
+// context.
+type EncodedState struct {
+	// Nodes lists the window's task IDs, sorted; row i of X describes
+	// Nodes[i].
+	Nodes []int
+	// X is the len(Nodes) x NumNodeFeatures feature matrix.
+	X *tensor.Matrix
+	// Norm is the normalised adjacency of the induced sub-DAG.
+	Norm *tensor.Matrix
+	// ReadyRows/ReadyTasks map candidate actions to rows and task IDs.
+	ReadyRows  []int
+	ReadyTasks []int
+	// Proc is the 1 x NumProcFeatures resource-context vector.
+	Proc *tensor.Matrix
+	// AllowIdle reports whether the ∅ action is legal (at least one task is
+	// running, so simulated time can advance).
+	AllowIdle bool
+}
+
+// NumActions returns the size of the action space of this state.
+func (e *EncodedState) NumActions() int {
+	n := len(e.ReadyRows)
+	if e.AllowIdle {
+		n++
+	}
+	return n
+}
+
+// Encode builds the EncodedState for a decision on the given resource. F is
+// the per-task descendant feature matrix of the full DAG (computed once per
+// episode with taskgraph.DescendantFeatures); w is the window depth. The
+// GCN operator is the paper's symmetric normalisation; use EncodeWith for
+// the directed ablation variant.
+func Encode(s *sim.State, resource int, F [][taskgraph.NumKernels]float64, w int) *EncodedState {
+	return EncodeWith(s, resource, F, w, false)
+}
+
+// EncodeWith is Encode with an explicit choice of propagation operator:
+// directed selects the row-normalised downstream operator (see
+// nn.DirectedNormalizedAdjacency).
+func EncodeWith(s *sim.State, resource int, F [][taskgraph.NumKernels]float64, w int, directed bool) *EncodedState {
+	g := s.Graph
+	nodes := taskgraph.Window(g, s.Running, s.Ready, w)
+	rowOf := make(map[int]int, len(nodes))
+	for row, t := range nodes {
+		rowOf[t] = row
+	}
+	maxE := s.Timing.MaxExpected()
+
+	proc := tensor.New(1, NumProcFeatures)
+	curType := s.Platform.Resources[resource].Type
+	if curType == platform.CPU {
+		proc.Data[procIsCPU] = 1
+	} else {
+		proc.Data[procIsGPU] = 1
+	}
+	var freeCPU, freeGPU, numCPU, numGPU int
+	waitCPU, waitGPU := math.Inf(1), math.Inf(1)
+	for r, res := range s.Platform.Resources {
+		wait := s.EstTimeUntilFree(r)
+		if res.Type == platform.CPU {
+			numCPU++
+			if s.IsFree(r) {
+				freeCPU++
+			}
+			if wait < waitCPU {
+				waitCPU = wait
+			}
+		} else {
+			numGPU++
+			if s.IsFree(r) {
+				freeGPU++
+			}
+			if wait < waitGPU {
+				waitGPU = wait
+			}
+		}
+	}
+	if numCPU > 0 {
+		proc.Data[procFreeCPU] = float64(freeCPU) / float64(numCPU)
+		proc.Data[procWaitCPU] = waitCPU / maxE
+	}
+	if numGPU > 0 {
+		proc.Data[procFreeGPU] = float64(freeGPU) / float64(numGPU)
+		proc.Data[procWaitGPU] = waitGPU / maxE
+	}
+	if len(nodes) > 0 {
+		proc.Data[procReadyCnt] = float64(len(s.Ready)) / float64(len(nodes))
+	}
+
+	// The ∅ action is legal unless the engine is in a forced round: when
+	// nothing is running and every resource idled, someone must act or time
+	// cannot advance.
+	x := tensor.New(len(nodes), NumNodeFeatures)
+	es := &EncodedState{Nodes: nodes, X: x, Proc: proc, AllowIdle: !s.MustAct}
+	for row, t := range nodes {
+		task := g.Tasks[t]
+		rf := x.Row(row)
+		rf[featSucc] = clamp01(float64(len(g.Succ[t])) / degreeNorm)
+		rf[featPred] = clamp01(float64(len(g.Pred[t])) / degreeNorm)
+		rf[featType0+int(task.Kernel)] = 1
+		if s.Started[t] && !s.Done[t] {
+			rf[featRunning] = 1
+			r := s.AssignedTo[t]
+			e := s.Timing.ExpectedDuration(task.Kernel, s.Platform.Resources[r].Type)
+			rem := s.StartTime[t] + e - s.Now
+			if rem < 0 {
+				rem = 0
+			}
+			rf[featRemaining] = rem / maxE
+		} else if s.PredLeft[t] == 0 && !s.Started[t] {
+			rf[featReady] = 1
+			es.ReadyRows = append(es.ReadyRows, row)
+			es.ReadyTasks = append(es.ReadyTasks, t)
+		}
+		for k := 0; k < taskgraph.NumKernels; k++ {
+			rf[featF0+k] = F[t][k]
+		}
+		rf[featDurCPU] = s.Timing.ExpectedDuration(task.Kernel, platform.CPU) / maxE
+		rf[featDurGPU] = s.Timing.ExpectedDuration(task.Kernel, platform.GPU) / maxE
+		copy(rf[numTaskFeatures:], proc.Data)
+	}
+
+	// Induced sub-DAG adjacency, symmetrically normalised for the GCN.
+	succ := make([][]int, len(nodes))
+	for row, t := range nodes {
+		for _, j := range g.Succ[t] {
+			if jr, ok := rowOf[j]; ok {
+				succ[row] = append(succ[row], jr)
+			}
+		}
+	}
+	if directed {
+		es.Norm = nn.DirectedNormalizedAdjacency(len(nodes), succ)
+	} else {
+		es.Norm = nn.NormalizedAdjacency(len(nodes), succ)
+	}
+	return es
+}
+
+func clamp01(v float64) float64 {
+	if v > 1 {
+		return 1
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}

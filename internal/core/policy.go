@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math/rand"
+	"strconv"
+	"time"
+
+	"readys/internal/autograd"
+	"readys/internal/nn"
+	"readys/internal/sim"
+	"readys/internal/taskgraph"
+)
+
+// Step records one decision of a training episode: the encoded state, the
+// forward pass (whose tape the loss will be built on) and the chosen action.
+// A2C builds its loss directly on Forward's tape; PPO re-evaluates State
+// under updated parameters.
+type Step struct {
+	State   *EncodedState
+	Forward *Forward
+	Action  int
+}
+
+// Policy adapts an Agent to the simulator's Policy interface.
+//
+// In greedy mode it picks the argmax action; otherwise it samples from the
+// policy distribution using Rng (training behaviour). When Record is true,
+// every decision's Forward pass and action are appended to Steps so the A2C
+// trainer can compute losses after the episode terminates.
+type Policy struct {
+	Agent *Agent
+	// Rng drives action sampling; required unless Greedy.
+	Rng *rand.Rand
+	// Greedy selects argmax actions (evaluation mode).
+	Greedy bool
+	// Temperature, when positive and Greedy is false, sharpens the sampling
+	// distribution (pᵢ ∝ exp(log πᵢ/τ)). Ignored in Greedy mode.
+	Temperature float64
+	// Record keeps per-decision tapes for training.
+	Record bool
+	// DisableIdle masks the ∅ action at every decision (ablation: READYS
+	// reduced to a pure list scheduler that must fill the asking resource).
+	DisableIdle bool
+	// Steps holds the recorded decisions of the current episode.
+	Steps []Step
+
+	// InferenceTime accumulates wall-clock time spent in Forward (used for
+	// the Figure 7 experiment) and InferenceCount the number of decisions.
+	InferenceTime  time.Duration
+	InferenceCount int
+
+	feats [][taskgraph.NumKernels]float64
+}
+
+// NewPolicy returns an evaluation-mode (greedy) policy for the agent.
+func NewPolicy(agent *Agent) *Policy {
+	return &Policy{Agent: agent, Greedy: true}
+}
+
+// NewTrainingPolicy returns a sampling, recording policy for the agent.
+func NewTrainingPolicy(agent *Agent, rng *rand.Rand) *Policy {
+	return &Policy{Agent: agent, Rng: rng, Record: true}
+}
+
+// Reset implements sim.Policy: it precomputes the DAG's descendant features
+// and clears the episode recording.
+func (p *Policy) Reset(s *sim.State) {
+	p.feats = taskgraph.DescendantFeatures(s.Graph)
+	p.Steps = p.Steps[:0]
+}
+
+// Decide implements sim.Policy.
+func (p *Policy) Decide(s *sim.State, r int) int {
+	es := EncodeWith(s, r, p.feats, p.Agent.Cfg.Window, p.Agent.Cfg.Directed)
+	if p.DisableIdle {
+		es.AllowIdle = false
+	}
+	start := time.Now()
+	fw := p.Agent.Forward(es)
+	p.InferenceTime += time.Since(start)
+	p.InferenceCount++
+
+	var action int
+	switch {
+	case p.Greedy:
+		action = fw.Argmax()
+	case p.Temperature > 0:
+		action = fw.SampleTemperature(p.Rng, p.Temperature)
+	default:
+		action = fw.Sample(p.Rng)
+	}
+	if p.Record {
+		p.Steps = append(p.Steps, Step{State: es, Forward: fw, Action: action})
+	}
+	if action == fw.IdleIndex && fw.IdleIndex >= 0 {
+		return sim.NoTask
+	}
+	return es.ReadyTasks[action]
+}
+
+// SaveCheckpoint writes the agent's parameters and architecture metadata.
+func (a *Agent) SaveCheckpoint(path string, meta map[string]string) error {
+	m := map[string]string{
+		"window": strconv.Itoa(a.Cfg.Window),
+		"layers": strconv.Itoa(a.Cfg.Layers),
+		"hidden": strconv.Itoa(a.Cfg.Hidden),
+	}
+	for k, v := range meta {
+		m[k] = v
+	}
+	return nn.SaveCheckpointFile(path, a.params, m)
+}
+
+// LoadCheckpoint restores the agent's parameters from a checkpoint produced
+// by SaveCheckpoint; the architecture (window/layers/hidden) must match.
+func (a *Agent) LoadCheckpoint(path string) (map[string]string, error) {
+	return nn.LoadCheckpointFile(path, a.params)
+}
+
+// MeanEntropy returns the average policy entropy over the recorded steps —
+// a diagnostic of exploration during training.
+func (p *Policy) MeanEntropy() float64 {
+	if len(p.Steps) == 0 {
+		return 0
+	}
+	var s float64
+	for _, st := range p.Steps {
+		s += autograd.Scalar(st.Forward.Entropy())
+	}
+	return s / float64(len(p.Steps))
+}

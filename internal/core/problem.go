@@ -1,0 +1,67 @@
+// Package core implements READYS, the paper's contribution: a reinforcement-
+// learning dynamic scheduler for DAGs on heterogeneous platforms.
+//
+// The package contains
+//   - the state encoder of §III-B (windowed sub-DAG of running/ready tasks
+//     and their descendants up to depth w, per-task raw features X̂ including
+//     the descendant-type summary F, and the resource-state vector),
+//   - the policy/value network of Fig. 2 (input projection, a stack of GCN
+//     layers, an actor head scoring each ready task, an ∅-action head fed by
+//     the processor embedding and the max-pooled DAG representation, and a
+//     critic head on the mean-pooled representation),
+//   - the sim.Policy adapter used for both training (sampling, trajectory
+//     recording) and evaluation (greedy), and
+//   - checkpointing for the transfer-learning experiments (§V-F).
+package core
+
+import (
+	"math/rand"
+
+	"readys/internal/platform"
+	"readys/internal/sched"
+	"readys/internal/sim"
+	"readys/internal/taskgraph"
+)
+
+// Problem bundles one scheduling instance: a DAG, a platform, the timing
+// tables and the duration-noise level.
+type Problem struct {
+	Graph    *taskgraph.Graph
+	Platform platform.Platform
+	Timing   platform.Timing
+	Sigma    float64
+}
+
+// NewProblem builds a Problem for a factorisation kind, tile count, platform
+// and noise level.
+func NewProblem(kind taskgraph.Kind, T, numCPU, numGPU int, sigma float64) Problem {
+	return Problem{
+		Graph:    taskgraph.NewByKind(kind, T),
+		Platform: platform.New(numCPU, numGPU),
+		Timing:   platform.TimingFor(kind),
+		Sigma:    sigma,
+	}
+}
+
+// HEFTBaseline returns the projected HEFT makespan of the problem under
+// expected durations. Per §III-B the terminal reward is
+//
+//	R = (makespan(HEFT) − makespan) / makespan(HEFT),
+//
+// positive exactly when the agent beats HEFT. The projection is used (rather
+// than a noisy HEFT execution) so the reward scale is deterministic across
+// episodes.
+func (p Problem) HEFTBaseline() float64 {
+	return sched.HEFT(p.Graph, p.Platform, p.Timing).Makespan
+}
+
+// Reward converts an achieved makespan into the terminal reward against the
+// given HEFT baseline makespan.
+func Reward(heftMakespan, makespan float64) float64 {
+	return (heftMakespan - makespan) / heftMakespan
+}
+
+// Simulate runs the problem under an arbitrary policy with the given RNG.
+func (p Problem) Simulate(pol sim.Policy, rng *rand.Rand) (sim.Result, error) {
+	return sim.Simulate(p.Graph, p.Platform, p.Timing, pol, sim.Options{Sigma: p.Sigma, Rng: rng})
+}

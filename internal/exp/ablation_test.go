@@ -1,0 +1,81 @@
+package exp
+
+import (
+	"math/rand"
+	"testing"
+
+	"readys/internal/taskgraph"
+)
+
+func TestAblationRunsWithTinyBudget(t *testing.T) {
+	dir := t.TempDir()
+	tab, err := Ablation(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 variants × 2 σ points.
+	if len(tab.Rows) != 12 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if len(row) != len(tab.Header) {
+			t.Fatalf("ragged row %v", row)
+		}
+	}
+}
+
+func TestAblationCachesVariants(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Ablation(dir, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Second run must reuse the cached checkpoints: with episodes=0 a train
+	// attempt would panic inside the trainer config validation, so success
+	// proves the cache was hit.
+	if _, err := Ablation(dir, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomSearchSamplesWithinGrids(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	trials, tab, err := RandomSearch(rng, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trials) != 4 || len(tab.Rows) != 4 {
+		t.Fatalf("%d trials", len(trials))
+	}
+	entropyOK := map[float64]bool{1e-3: true, 5e-3: true, 1e-2: true}
+	unrollOK := map[int]bool{20: true, 40: true, 60: true, 80: true}
+	for _, tr := range trials {
+		if tr.Window < 0 || tr.Window > 2 {
+			t.Fatalf("window %d outside [0,2]", tr.Window)
+		}
+		if tr.Layers < 1 || tr.Layers > 3 {
+			t.Fatalf("layers %d outside [1,3]", tr.Layers)
+		}
+		if !entropyOK[tr.EntropyBeta] || !unrollOK[tr.Unroll] {
+			t.Fatalf("off-grid trial %+v", tr)
+		}
+		if tr.GreedyMs <= 0 {
+			t.Fatalf("no greedy evaluation in %+v", tr)
+		}
+	}
+}
+
+func TestSearchHelpers(t *testing.T) {
+	spec := DefaultAgentSpec(taskgraph.Cholesky, 2, 1, 1)
+	spec.Hidden, spec.Layers, spec.Window = 8, 1, 1
+	agent, hist, err := trainWithOverrides(spec, 3, 1e-3, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.Episodes) != 3 {
+		t.Fatal("override training wrong length")
+	}
+	ms, err := evaluateGreedy(agent, spec, 2, 1)
+	if err != nil || ms <= 0 {
+		t.Fatalf("greedy eval %v err %v", ms, err)
+	}
+}

@@ -1,0 +1,73 @@
+package exp
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"readys/internal/core"
+	"readys/internal/rl"
+)
+
+// TrainAgent trains a fresh agent for the spec with the given episode budget
+// and saves its checkpoint under dir. Progress, if non-nil, receives episode
+// statistics.
+func TrainAgent(spec AgentSpec, dir string, episodes int, progress func(rl.EpisodeStats)) (*core.Agent, rl.History, error) {
+	agent := core.NewAgent(spec.AgentConfig())
+	cfg := rl.DefaultConfig()
+	cfg.Episodes = episodes
+	cfg.Seed = spec.Seed
+	trainer := rl.NewTrainer(agent, spec.Problem(), cfg)
+	hist, err := trainer.Run(progress)
+	if err != nil {
+		return nil, hist, fmt.Errorf("exp: training %s: %w", spec.Name(), err)
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, hist, err
+		}
+		meta := map[string]string{
+			"kind":              spec.Kind.String(),
+			"T":                 strconv.Itoa(spec.T),
+			"cpus":              strconv.Itoa(spec.NumCPU),
+			"gpus":              strconv.Itoa(spec.NumGPU),
+			"sigma_train":       fmt.Sprintf("%g", spec.SigmaTrain),
+			"episodes":          strconv.Itoa(episodes),
+			"final_mean_reward": fmt.Sprintf("%.4f", hist.FinalMeanReward(100)),
+		}
+		if err := agent.SaveCheckpoint(spec.ModelPath(dir), meta); err != nil {
+			return nil, hist, fmt.Errorf("exp: saving %s: %w", spec.Name(), err)
+		}
+	}
+	return agent, hist, nil
+}
+
+// LoadAgent restores a trained agent for the spec from dir.
+func LoadAgent(spec AgentSpec, dir string) (*core.Agent, error) {
+	agent := core.NewAgent(spec.AgentConfig())
+	if _, err := agent.LoadCheckpoint(spec.ModelPath(dir)); err != nil {
+		return nil, err
+	}
+	return agent, nil
+}
+
+// LoadOrTrain restores the spec's checkpoint if present, otherwise trains it
+// with the given episode budget (and caches the result when dir is non-empty).
+func LoadOrTrain(spec AgentSpec, dir string, episodes int) (*core.Agent, error) {
+	if dir != "" {
+		if _, err := os.Stat(spec.ModelPath(dir)); err == nil {
+			return LoadAgent(spec, dir)
+		}
+	}
+	agent, _, err := TrainAgent(spec, dir, episodes, nil)
+	return agent, err
+}
+
+// DefaultModelsDir resolves the model cache directory: $READYS_MODELS_DIR or
+// "models".
+func DefaultModelsDir() string {
+	if d := os.Getenv("READYS_MODELS_DIR"); d != "" {
+		return d
+	}
+	return "models"
+}

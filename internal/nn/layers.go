@@ -1,0 +1,141 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"readys/internal/autograd"
+	"readys/internal/tensor"
+)
+
+// Linear is a fully connected layer y = xW + b. In the paper's notation,
+// FC(in, out).
+type Linear struct {
+	W, B *Param
+}
+
+// NewLinear builds an in x out linear layer with Glorot-uniform weights and a
+// zero bias. The name prefixes the parameter names for checkpointing.
+func NewLinear(rng *rand.Rand, name string, in, out int) *Linear {
+	return &Linear{
+		W: NewParam(name+".W", tensor.GlorotUniform(rng, in, out)),
+		B: NewParam(name+".b", tensor.New(1, out)),
+	}
+}
+
+// Forward applies the layer to x (rows are samples) on b's tape.
+func (l *Linear) Forward(b *Binding, x *autograd.Node) *autograd.Node {
+	return b.Tape.AddRowVector(b.Tape.MatMul(x, b.Bind(l.W)), b.Bind(l.B))
+}
+
+// Params returns the layer's trainable parameters.
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
+
+// GCN is one graph-convolution layer in the Kipf–Welling formulation used by
+// the paper (§III-B):
+//
+//	H' = φ( D̃^{-1/2} Ã D̃^{-1/2} H W + b )
+//
+// where Ã is the adjacency matrix with self-loops. The normalised operator
+// D̃^{-1/2}ÃD̃^{-1/2} is precomputed per sub-DAG with NormalizedAdjacency and
+// passed to Forward as a constant, since the graph topology carries no
+// gradient.
+type GCN struct {
+	W, B *Param
+}
+
+// NewGCN builds a GCN layer mapping in-dimensional node features to out
+// dimensions.
+func NewGCN(rng *rand.Rand, name string, in, out int) *GCN {
+	return &GCN{
+		W: NewParam(name+".W", tensor.GlorotUniform(rng, in, out)),
+		B: NewParam(name+".b", tensor.New(1, out)),
+	}
+}
+
+// Forward computes φ(norm · h · W + b) with φ = ReLU. norm must be the
+// n x n normalised adjacency of the sub-DAG and h the n x in feature matrix.
+func (g *GCN) Forward(b *Binding, norm *autograd.Node, h *autograd.Node) *autograd.Node {
+	agg := b.Tape.MatMul(norm, h)
+	lin := b.Tape.AddRowVector(b.Tape.MatMul(agg, b.Bind(g.W)), b.Bind(g.B))
+	return b.Tape.ReLU(lin)
+}
+
+// Params returns the layer's trainable parameters.
+func (g *GCN) Params() []*Param { return []*Param{g.W, g.B} }
+
+// NormalizedAdjacency returns D̃^{-1/2} (A + I) D̃^{-1/2} for the directed
+// adjacency A given as successor lists: succ[i] holds the indices j of the
+// edges i→j. Treating the operator symmetrically (information flows both
+// ways, as in the paper's GCN) means both (i,j) and (j,i) are set.
+func NormalizedAdjacency(n int, succ [][]int) *tensor.Matrix {
+	a := tensor.New(n, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, 1) // self-loop
+	}
+	for i, js := range succ {
+		for _, j := range js {
+			if i < 0 || i >= n || j < 0 || j >= n {
+				panic(fmt.Sprintf("nn: edge (%d,%d) out of range for n=%d", i, j, n))
+			}
+			a.Set(i, j, 1)
+			a.Set(j, i, 1)
+		}
+	}
+	deg := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var d float64
+		for j := 0; j < n; j++ {
+			d += a.At(i, j)
+		}
+		deg[i] = d
+	}
+	out := tensor.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := a.At(i, j)
+			if v != 0 {
+				out.Set(i, j, v/sqrtf(deg[i]*deg[j]))
+			}
+		}
+	}
+	return out
+}
+
+// DirectedNormalizedAdjacency returns D̃^{-1} (A + I) for a strictly
+// downstream information flow (ablation variant): row-normalised adjacency
+// where node i aggregates itself and its successors.
+func DirectedNormalizedAdjacency(n int, succ [][]int) *tensor.Matrix {
+	a := tensor.New(n, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, 1)
+	}
+	for i, js := range succ {
+		for _, j := range js {
+			a.Set(i, j, 1)
+		}
+	}
+	out := tensor.New(n, n)
+	for i := 0; i < n; i++ {
+		var d float64
+		for j := 0; j < n; j++ {
+			d += a.At(i, j)
+		}
+		for j := 0; j < n; j++ {
+			if v := a.At(i, j); v != 0 {
+				out.Set(i, j, v/d)
+			}
+		}
+	}
+	return out
+}
+
+// sqrtf is math.Sqrt with a guard for zero degrees (isolated vertices keep a
+// unit self-loop weight instead of dividing by zero).
+func sqrtf(x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return math.Sqrt(x)
+}

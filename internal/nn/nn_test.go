@@ -1,0 +1,387 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"readys/internal/autograd"
+	"readys/internal/tensor"
+)
+
+func TestLinearForwardShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewLinear(rng, "fc", 5, 3)
+	b := NewBinding()
+	x := b.Tape.Const(tensor.RandNormal(rng, 7, 5, 1))
+	y := l.Forward(b, x)
+	if y.Value.Rows != 7 || y.Value.Cols != 3 {
+		t.Fatalf("Linear output %dx%d, want 7x3", y.Value.Rows, y.Value.Cols)
+	}
+}
+
+func TestLinearMatchesManualCompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	l := NewLinear(rng, "fc", 2, 2)
+	b := NewBinding()
+	x := tensor.FromSlice(1, 2, []float64{1, -1})
+	y := l.Forward(b, b.Tape.Const(x))
+	want := tensor.AddRowVector(tensor.MatMul(x, l.W.Value), l.B.Value)
+	if !y.Value.AllClose(want, 1e-12) {
+		t.Fatal("Linear forward diverges from manual compute")
+	}
+}
+
+func TestBindingReturnsSameNodeAndAccumulates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := NewParam("w", tensor.RandNormal(rng, 2, 2, 1))
+	b := NewBinding()
+	n1 := b.Bind(p)
+	n2 := b.Bind(p)
+	if n1 != n2 {
+		t.Fatal("Bind must return the same node for the same param")
+	}
+	// y = sum(w) + sum(w) → dy/dw = 2 everywhere.
+	y := b.Tape.Add(b.Tape.SumAll(n1), b.Tape.SumAll(n2))
+	b.Tape.Backward(y)
+	b.Flush()
+	for _, g := range p.Grad.Data {
+		if g != 2 {
+			t.Fatalf("grad = %v, want 2", g)
+		}
+	}
+}
+
+func TestParamSetDuplicatePanics(t *testing.T) {
+	s := NewParamSet()
+	s.Add(NewParam("a", tensor.New(1, 1)))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate name should panic")
+		}
+	}()
+	s.Add(NewParam("a", tensor.New(1, 1)))
+}
+
+func TestParamSetClipGradNorm(t *testing.T) {
+	s := NewParamSet()
+	p := NewParam("a", tensor.New(1, 2))
+	p.Grad = tensor.FromSlice(1, 2, []float64{3, 4}) // norm 5
+	s.Add(p)
+	pre := s.ClipGradNorm(1)
+	if math.Abs(pre-5) > 1e-12 {
+		t.Fatalf("pre-clip norm = %v, want 5", pre)
+	}
+	if math.Abs(s.GradNorm()-1) > 1e-12 {
+		t.Fatalf("post-clip norm = %v, want 1", s.GradNorm())
+	}
+	// Below the threshold nothing changes.
+	if got := s.ClipGradNorm(10); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("second clip returned %v", got)
+	}
+}
+
+func TestNormalizedAdjacencyProperties(t *testing.T) {
+	// Path graph 0→1→2.
+	norm := NormalizedAdjacency(3, [][]int{{1}, {2}, {}})
+	// Must be symmetric with self-loops.
+	for i := 0; i < 3; i++ {
+		if norm.At(i, i) == 0 {
+			t.Fatalf("missing self-loop at %d", i)
+		}
+		for j := 0; j < 3; j++ {
+			if math.Abs(norm.At(i, j)-norm.At(j, i)) > 1e-12 {
+				t.Fatalf("not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Node 0 has degree 2 (self + edge to 1): norm[0,0] = 1/2.
+	if math.Abs(norm.At(0, 0)-0.5) > 1e-12 {
+		t.Fatalf("norm[0,0] = %v, want 0.5", norm.At(0, 0))
+	}
+	// Disconnected node keeps unit self weight.
+	iso := NormalizedAdjacency(1, [][]int{{}})
+	if iso.At(0, 0) != 1 {
+		t.Fatalf("isolated self-loop weight %v", iso.At(0, 0))
+	}
+}
+
+func TestNormalizedAdjacencySpectralBoundProperty(t *testing.T) {
+	// Rows of D^-1/2 A D^-1/2 sum to at most sqrt(deg) ratios; a simpler
+	// robust invariant: all entries are in [0,1] and the matrix is symmetric.
+	rng := rand.New(rand.NewSource(4))
+	f := func(n8 uint8) bool {
+		n := int(n8%10) + 2
+		succ := make([][]int, n)
+		for i := 0; i < n-1; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.3 {
+					succ[i] = append(succ[i], j)
+				}
+			}
+		}
+		m := NormalizedAdjacency(n, succ)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				v := m.At(i, j)
+				if v < 0 || v > 1 || math.Abs(v-m.At(j, i)) > 1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectedNormalizedAdjacencyRowStochastic(t *testing.T) {
+	m := DirectedNormalizedAdjacency(3, [][]int{{1, 2}, {2}, {}})
+	for i := 0; i < 3; i++ {
+		var s float64
+		for j := 0; j < 3; j++ {
+			s += m.At(i, j)
+		}
+		if math.Abs(s-1) > 1e-12 {
+			t.Fatalf("row %d sums to %v", i, s)
+		}
+	}
+}
+
+func TestGCNForwardDepthPropagation(t *testing.T) {
+	// On a path 0→1→2, one GCN layer mixes only direct neighbours: node 2's
+	// output must not depend on node 0's features, but with two layers it must.
+	rng := rand.New(rand.NewSource(5))
+	g1 := NewGCN(rng, "g1", 1, 4)
+	g2 := NewGCN(rng, "g2", 4, 4)
+	norm := NormalizedAdjacency(3, [][]int{{1}, {2}, {}})
+
+	run := func(x0 float64, layers int) []float64 {
+		b := NewBinding()
+		x := b.Tape.Const(tensor.FromSlice(3, 1, []float64{x0, 1, 1}))
+		nrm := b.Tape.Const(norm)
+		h := g1.Forward(b, nrm, x)
+		if layers == 2 {
+			h = g2.Forward(b, nrm, h)
+		}
+		return append([]float64(nil), h.Value.Row(2)...)
+	}
+	a1 := run(0, 1)
+	b1 := run(100, 1)
+	for i := range a1 {
+		if a1[i] != b1[i] {
+			t.Fatal("1-layer GCN leaked information beyond distance 1")
+		}
+	}
+	a2 := run(0, 2)
+	b2 := run(100, 2)
+	same := true
+	for i := range a2 {
+		if a2[i] != b2[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("2-layer GCN should propagate information across two hops")
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimise ||w - target||² — Adam must converge fast.
+	target := tensor.FromSlice(1, 3, []float64{1, -2, 0.5})
+	p := NewParam("w", tensor.New(1, 3))
+	set := NewParamSet()
+	set.Add(p)
+	opt := NewAdam(0.05)
+	for it := 0; it < 500; it++ {
+		set.ZeroGrad()
+		for i := range p.Grad.Data {
+			p.Grad.Data[i] = 2 * (p.Value.Data[i] - target.Data[i])
+		}
+		opt.Step(set)
+	}
+	if !p.Value.AllClose(target, 1e-2) {
+		t.Fatalf("Adam did not converge: %v", p.Value)
+	}
+	if opt.StepCount() != 500 {
+		t.Fatalf("step count %d", opt.StepCount())
+	}
+}
+
+func TestSGDMomentumConverges(t *testing.T) {
+	p := NewParam("w", tensor.FromSlice(1, 1, []float64{5}))
+	set := NewParamSet()
+	set.Add(p)
+	opt := NewSGD(0.05, 0.9)
+	for it := 0; it < 300; it++ {
+		set.ZeroGrad()
+		p.Grad.Data[0] = 2 * p.Value.Data[0]
+		opt.Step(set)
+	}
+	if math.Abs(p.Value.Data[0]) > 1e-3 {
+		t.Fatalf("SGD did not converge: %v", p.Value.Data[0])
+	}
+}
+
+func TestEndToEndRegression(t *testing.T) {
+	// Fit y = relu-net(x) to a linear function; verifies Binding+Backward+Adam
+	// work together through a multi-layer graph.
+	rng := rand.New(rand.NewSource(6))
+	l1 := NewLinear(rng, "l1", 2, 16)
+	l2 := NewLinear(rng, "l2", 16, 1)
+	set := NewParamSet()
+	set.Add(l1.Params()...)
+	set.Add(l2.Params()...)
+	opt := NewAdam(0.01)
+
+	targetFn := func(x0, x1 float64) float64 { return 2*x0 - x1 + 0.5 }
+	var loss float64
+	for it := 0; it < 600; it++ {
+		x := tensor.New(8, 2)
+		y := tensor.New(8, 1)
+		for i := 0; i < 8; i++ {
+			x.Set(i, 0, rng.Float64()*2-1)
+			x.Set(i, 1, rng.Float64()*2-1)
+			y.Set(i, 0, targetFn(x.At(i, 0), x.At(i, 1)))
+		}
+		b := NewBinding()
+		h := b.Tape.ReLU(l1.Forward(b, b.Tape.Const(x)))
+		pred := l2.Forward(b, h)
+		diff := b.Tape.Sub(pred, b.Tape.Const(y))
+		mse := b.Tape.Scale(b.Tape.SumAll(b.Tape.Square(diff)), 1.0/8)
+		set.ZeroGrad()
+		b.Tape.Backward(mse)
+		b.Flush()
+		opt.Step(set)
+		loss = autograd.Scalar(mse)
+	}
+	if loss > 0.01 {
+		t.Fatalf("regression did not fit: final loss %v", loss)
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	l := NewLinear(rng, "fc", 3, 2)
+	src := NewParamSet()
+	src.Add(l.Params()...)
+
+	var buf bytes.Buffer
+	meta := map[string]string{"kernel": "cholesky", "T": "8"}
+	if err := SaveCheckpoint(&buf, src, meta); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := NewLinear(rand.New(rand.NewSource(99)), "fc", 3, 2)
+	dst := NewParamSet()
+	dst.Add(l2.Params()...)
+	gotMeta, err := LoadCheckpoint(bytes.NewReader(buf.Bytes()), dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMeta["kernel"] != "cholesky" || gotMeta["T"] != "8" {
+		t.Fatalf("meta round trip failed: %v", gotMeta)
+	}
+	if !l2.W.Value.Equal(l.W.Value) || !l2.B.Value.Equal(l.B.Value) {
+		t.Fatal("values not restored")
+	}
+}
+
+func TestCheckpointShapeMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	src := NewParamSet()
+	src.Add(NewParam("w", tensor.RandNormal(rng, 2, 2, 1)))
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, src, nil); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewParamSet()
+	dst.Add(NewParam("w", tensor.New(3, 3)))
+	if _, err := LoadCheckpoint(bytes.NewReader(buf.Bytes()), dst); err == nil {
+		t.Fatal("shape mismatch should error")
+	}
+}
+
+func TestCheckpointMissingParam(t *testing.T) {
+	src := NewParamSet()
+	src.Add(NewParam("w", tensor.New(1, 1)))
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, src, nil); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewParamSet()
+	dst.Add(NewParam("other", tensor.New(1, 1)))
+	if _, err := LoadCheckpoint(bytes.NewReader(buf.Bytes()), dst); err == nil {
+		t.Fatal("missing param should error")
+	}
+}
+
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	src := NewParamSet()
+	src.Add(NewParam("w", tensor.RandNormal(rng, 4, 4, 1)))
+	path := t.TempDir() + "/ckpt.json"
+	if err := SaveCheckpointFile(path, src, map[string]string{"a": "b"}); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewParamSet()
+	dst.Add(NewParam("w", tensor.New(4, 4)))
+	meta, err := LoadCheckpointFile(path, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta["a"] != "b" || !dst.Get("w").Value.Equal(src.Get("w").Value) {
+		t.Fatal("file round trip failed")
+	}
+}
+
+func TestCopyValuesFrom(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := NewParamSet()
+	a.Add(NewParam("w", tensor.RandNormal(rng, 2, 2, 1)))
+	b := NewParamSet()
+	b.Add(NewParam("w", tensor.New(2, 2)))
+	if err := b.CopyValuesFrom(a); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Get("w").Value.Equal(a.Get("w").Value) {
+		t.Fatal("copy failed")
+	}
+	c := NewParamSet()
+	c.Add(NewParam("missing", tensor.New(1, 1)))
+	if err := c.CopyValuesFrom(a); err == nil {
+		t.Fatal("missing source should error")
+	}
+}
+
+func TestInitSeedDeterministic(t *testing.T) {
+	build := func(seed int64) *ParamSet {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewParamSet()
+		s.Add(NewParam("w", tensor.New(3, 3)), NewParam("b", tensor.New(1, 3)))
+		s.InitSeed(rng)
+		return s
+	}
+	a, b := build(42), build(42)
+	if !a.Get("w").Value.Equal(b.Get("w").Value) {
+		t.Fatal("same seed must give same init")
+	}
+	if tensor.Sum(a.Get("b").Value) != 0 {
+		t.Fatal("bias rows must be zero-initialised")
+	}
+	c := build(43)
+	if a.Get("w").Value.Equal(c.Get("w").Value) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestNumValues(t *testing.T) {
+	s := NewParamSet()
+	s.Add(NewParam("a", tensor.New(2, 3)), NewParam("b", tensor.New(1, 4)))
+	if s.NumValues() != 10 {
+		t.Fatalf("NumValues = %d, want 10", s.NumValues())
+	}
+}

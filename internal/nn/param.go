@@ -1,0 +1,168 @@
+// Package nn provides the neural-network building blocks used by the READYS
+// agent: trainable parameters, linear and graph-convolution layers
+// (Kipf–Welling GCN), the Adam optimizer, gradient clipping and parameter
+// (de)serialisation for transfer-learning checkpoints.
+//
+// Layers are stateless with respect to the computation graph: each forward
+// pass binds the layer's parameters onto a fresh autograd.Tape through a
+// Binding, and after Tape.Backward the Binding flushes the accumulated
+// node gradients back into the parameters.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"readys/internal/autograd"
+	"readys/internal/tensor"
+)
+
+// Param is a named trainable matrix together with its gradient accumulator.
+type Param struct {
+	Name  string
+	Value *tensor.Matrix
+	Grad  *tensor.Matrix
+}
+
+// NewParam allocates a parameter with a zero gradient buffer.
+func NewParam(name string, value *tensor.Matrix) *Param {
+	return &Param{Name: name, Value: value, Grad: tensor.New(value.Rows, value.Cols)}
+}
+
+// ZeroGrad resets the gradient accumulator.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Binding ties parameters to a single autograd tape. Binding the same
+// parameter twice returns the same node, so gradient contributions from
+// every use site accumulate correctly.
+type Binding struct {
+	Tape  *autograd.Tape
+	nodes map[*Param]*autograd.Node
+	order []*Param
+}
+
+// NewBinding returns a Binding over a fresh tape.
+func NewBinding() *Binding {
+	return &Binding{Tape: autograd.NewTape(), nodes: make(map[*Param]*autograd.Node)}
+}
+
+// Bind returns the tape node for p, creating it on first use.
+func (b *Binding) Bind(p *Param) *autograd.Node {
+	if n, ok := b.nodes[p]; ok {
+		return n
+	}
+	n := b.Tape.Var(p.Value)
+	b.nodes[p] = n
+	b.order = append(b.order, p)
+	return n
+}
+
+// Flush accumulates the gradients gathered on the tape into the parameters.
+// Call it once, after Tape.Backward.
+func (b *Binding) Flush() {
+	for _, p := range b.order {
+		if g := b.nodes[p].Grad; g != nil {
+			tensor.AddInPlace(p.Grad, g)
+		}
+	}
+}
+
+// ParamSet is an ordered collection of parameters: the unit of optimisation
+// and serialisation.
+type ParamSet struct {
+	params []*Param
+	byName map[string]*Param
+}
+
+// NewParamSet returns an empty set.
+func NewParamSet() *ParamSet {
+	return &ParamSet{byName: make(map[string]*Param)}
+}
+
+// Add registers params; duplicate names panic since checkpoints key on them.
+func (s *ParamSet) Add(params ...*Param) {
+	for _, p := range params {
+		if _, dup := s.byName[p.Name]; dup {
+			panic(fmt.Sprintf("nn: duplicate parameter name %q", p.Name))
+		}
+		s.params = append(s.params, p)
+		s.byName[p.Name] = p
+	}
+}
+
+// All returns the parameters in registration order.
+func (s *ParamSet) All() []*Param { return s.params }
+
+// Get returns the parameter with the given name, or nil.
+func (s *ParamSet) Get(name string) *Param { return s.byName[name] }
+
+// ZeroGrad clears every gradient in the set.
+func (s *ParamSet) ZeroGrad() {
+	for _, p := range s.params {
+		p.ZeroGrad()
+	}
+}
+
+// NumValues returns the total number of scalar parameters.
+func (s *ParamSet) NumValues() int {
+	var n int
+	for _, p := range s.params {
+		n += len(p.Value.Data)
+	}
+	return n
+}
+
+// GradNorm returns the global L2 norm over every gradient in the set.
+func (s *ParamSet) GradNorm() float64 {
+	var sq float64
+	for _, p := range s.params {
+		sq += tensor.Dot(p.Grad, p.Grad)
+	}
+	return math.Sqrt(sq)
+}
+
+// ClipGradNorm rescales all gradients so the global norm does not exceed max.
+// It returns the pre-clip norm.
+func (s *ParamSet) ClipGradNorm(max float64) float64 {
+	norm := s.GradNorm()
+	if norm > max && norm > 0 {
+		scale := max / norm
+		for _, p := range s.params {
+			for i := range p.Grad.Data {
+				p.Grad.Data[i] *= scale
+			}
+		}
+	}
+	return norm
+}
+
+// CopyValuesFrom copies parameter values from src, matching by name. Every
+// parameter in s must exist in src with the same shape.
+func (s *ParamSet) CopyValuesFrom(src *ParamSet) error {
+	for _, p := range s.params {
+		q := src.Get(p.Name)
+		if q == nil {
+			return fmt.Errorf("nn: source set missing parameter %q", p.Name)
+		}
+		if !p.Value.SameShape(q.Value) {
+			return fmt.Errorf("nn: parameter %q shape mismatch %dx%d vs %dx%d",
+				p.Name, p.Value.Rows, p.Value.Cols, q.Value.Rows, q.Value.Cols)
+		}
+		copy(p.Value.Data, q.Value.Data)
+	}
+	return nil
+}
+
+// InitSeed re-initialises every parameter with Glorot-uniform values drawn
+// from rng; bias-like parameters (single row beginning with "b") are zeroed.
+func (s *ParamSet) InitSeed(rng *rand.Rand) {
+	for _, p := range s.params {
+		if p.Value.Rows == 1 {
+			p.Value.Zero()
+			continue
+		}
+		g := tensor.GlorotUniform(rng, p.Value.Rows, p.Value.Cols)
+		copy(p.Value.Data, g.Data)
+	}
+}

@@ -1,0 +1,97 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// checkpointFile is the on-disk JSON layout of a parameter checkpoint. The
+// format is versioned so future layout changes stay loadable.
+type checkpointFile struct {
+	Version int               `json:"version"`
+	Meta    map[string]string `json:"meta,omitempty"`
+	Params  []checkpointParam `json:"params"`
+}
+
+type checkpointParam struct {
+	Name string    `json:"name"`
+	Rows int       `json:"rows"`
+	Cols int       `json:"cols"`
+	Data []float64 `json:"data"`
+}
+
+const checkpointVersion = 1
+
+// SaveCheckpoint writes the parameter set (and free-form metadata such as the
+// training configuration) as JSON to w.
+func SaveCheckpoint(w io.Writer, params *ParamSet, meta map[string]string) error {
+	cf := checkpointFile{Version: checkpointVersion, Meta: meta}
+	for _, p := range params.All() {
+		cf.Params = append(cf.Params, checkpointParam{
+			Name: p.Name,
+			Rows: p.Value.Rows,
+			Cols: p.Value.Cols,
+			Data: p.Value.Data,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&cf)
+}
+
+// LoadCheckpoint reads a checkpoint from r and copies values into params,
+// matching by name and validating shapes. It returns the stored metadata.
+// Every parameter in params must be present in the checkpoint; extra
+// checkpoint entries are ignored (forward compatibility).
+func LoadCheckpoint(r io.Reader, params *ParamSet) (map[string]string, error) {
+	var cf checkpointFile
+	if err := json.NewDecoder(r).Decode(&cf); err != nil {
+		return nil, fmt.Errorf("nn: decoding checkpoint: %w", err)
+	}
+	if cf.Version != checkpointVersion {
+		return nil, fmt.Errorf("nn: unsupported checkpoint version %d", cf.Version)
+	}
+	byName := make(map[string]checkpointParam, len(cf.Params))
+	for _, cp := range cf.Params {
+		byName[cp.Name] = cp
+	}
+	for _, p := range params.All() {
+		cp, ok := byName[p.Name]
+		if !ok {
+			return nil, fmt.Errorf("nn: checkpoint missing parameter %q", p.Name)
+		}
+		if cp.Rows != p.Value.Rows || cp.Cols != p.Value.Cols {
+			return nil, fmt.Errorf("nn: parameter %q shape mismatch: checkpoint %dx%d, model %dx%d",
+				p.Name, cp.Rows, cp.Cols, p.Value.Rows, p.Value.Cols)
+		}
+		if len(cp.Data) != cp.Rows*cp.Cols {
+			return nil, fmt.Errorf("nn: parameter %q has %d values for %dx%d", p.Name, len(cp.Data), cp.Rows, cp.Cols)
+		}
+		copy(p.Value.Data, cp.Data)
+	}
+	return cf.Meta, nil
+}
+
+// SaveCheckpointFile writes a checkpoint to path, creating or truncating it.
+func SaveCheckpointFile(path string, params *ParamSet, meta map[string]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := SaveCheckpoint(f, params, meta); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// LoadCheckpointFile reads a checkpoint from path into params.
+func LoadCheckpointFile(path string, params *ParamSet) (map[string]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadCheckpoint(f, params)
+}

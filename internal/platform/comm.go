@@ -1,0 +1,61 @@
+package platform
+
+// CommModel is an optional communication-cost extension to the simulator.
+//
+// The paper assumes communications are fully overlapped with computation and
+// neglects them (§III-A) — the justification being that tiles of order N
+// carry O(N²) data against O(N³) work. This model lets the repository
+// *verify* that assumption and explore regimes where it breaks: each
+// dependency edge whose producer and consumer run on different resources
+// delays the consumer's computation by
+//
+//	Latency + TileBytes / Bandwidth     (milliseconds)
+//
+// Transfers are non-blocking (they overlap computation on both resources) and
+// contention-free; a transfer only manifests as a data-arrival stall on the
+// consumer when it starts before its inputs arrive. A nil *CommModel means
+// zero-cost communication, i.e. the paper's setting.
+type CommModel struct {
+	// LatencyMs is the fixed per-transfer latency in milliseconds.
+	LatencyMs float64
+	// TileBytes is the size of one tile's data in bytes.
+	TileBytes float64
+	// BandwidthBytesPerMs is the interconnect bandwidth in bytes per
+	// millisecond (e.g. PCIe 3.0 x16 ≈ 16 GB/s ≈ 1.6e7 bytes/ms).
+	BandwidthBytesPerMs float64
+}
+
+// DefaultCommModel returns a PCIe-class interconnect with 960x960
+// double-precision tiles: ≈7.4 MB per tile, 16 GB/s, 10 µs latency. The
+// resulting ≈0.47 ms per transfer is small against the tens-of-milliseconds
+// kernels — consistent with the paper's overlap argument.
+func DefaultCommModel() *CommModel {
+	return &CommModel{
+		LatencyMs:           0.01,
+		TileBytes:           960 * 960 * 8,
+		BandwidthBytesPerMs: 16e6,
+	}
+}
+
+// Cost returns the transfer delay in milliseconds for data produced on
+// resource from and consumed on resource to. Same-resource accesses are free.
+// A nil model is free everywhere.
+func (c *CommModel) Cost(from, to int) float64 {
+	if c == nil || from == to || from < 0 {
+		return 0
+	}
+	return c.LatencyMs + c.TileBytes/c.BandwidthBytesPerMs
+}
+
+// MeanCost returns the average transfer cost over distinct resource pairs of
+// a platform with n resources — the communication term HEFT averages into its
+// upward ranks. Zero for n < 2 or a nil model.
+func (c *CommModel) MeanCost(n int) float64 {
+	if c == nil || n < 2 {
+		return 0
+	}
+	// Cost is uniform across distinct pairs; the mean over all pairs
+	// (including same-resource, which are free) is cost·(n-1)/n.
+	pair := c.LatencyMs + c.TileBytes/c.BandwidthBytesPerMs
+	return pair * float64(n-1) / float64(n)
+}

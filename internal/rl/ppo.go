@@ -1,0 +1,158 @@
+package rl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"readys/internal/autograd"
+	"readys/internal/core"
+	"readys/internal/nn"
+)
+
+// PPOConfig holds the hyper-parameters of the PPO trainer — the "more recent
+// algorithms" extension the paper's future-work section (§VI) points to.
+type PPOConfig struct {
+	// Iterations is the number of collect-then-optimise cycles.
+	Iterations int
+	// EpisodesPerIter is the number of rollout episodes per cycle.
+	EpisodesPerIter int
+	// Epochs is the number of optimisation passes over each batch.
+	Epochs int
+	// ClipEps is the PPO surrogate clipping radius (0.2 by convention).
+	ClipEps float64
+
+	Gamma       float64
+	EntropyBeta float64
+	ValueScale  float64
+	LR          float64
+	ClipNorm    float64
+	Seed        int64
+}
+
+// DefaultPPOConfig returns conventional PPO constants matched to the A2C
+// defaults of this repository.
+func DefaultPPOConfig() PPOConfig {
+	return PPOConfig{
+		Iterations:      100,
+		EpisodesPerIter: 8,
+		Epochs:          3,
+		ClipEps:         0.2,
+		Gamma:           0.99,
+		EntropyBeta:     1e-2,
+		ValueScale:      0.5,
+		LR:              0.003,
+		ClipNorm:        5,
+		Seed:            1,
+	}
+}
+
+// ppoSample is one stored decision of a rollout batch.
+type ppoSample struct {
+	state     *core.EncodedState
+	action    int
+	oldLogP   float64
+	target    float64 // discounted terminal return
+	advantage float64 // target − V_old(state)
+}
+
+// PPOTrainer trains an agent with clipped-surrogate PPO on a fixed problem.
+type PPOTrainer struct {
+	Agent   *core.Agent
+	Problem core.Problem
+	Cfg     PPOConfig
+
+	opt      *nn.Adam
+	baseline float64
+	rng      *rand.Rand
+}
+
+// NewPPOTrainer prepares PPO training of the agent on the problem.
+func NewPPOTrainer(agent *core.Agent, problem core.Problem, cfg PPOConfig) *PPOTrainer {
+	if cfg.Iterations <= 0 || cfg.EpisodesPerIter <= 0 || cfg.Epochs <= 0 {
+		panic(fmt.Sprintf("rl: invalid PPO config %+v", cfg))
+	}
+	return &PPOTrainer{
+		Agent:    agent,
+		Problem:  problem,
+		Cfg:      cfg,
+		opt:      nn.NewAdam(cfg.LR),
+		baseline: problem.HEFTBaseline(),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Run executes the PPO loop and returns a training history with one entry
+// per rollout episode.
+func (t *PPOTrainer) Run(progress func(EpisodeStats)) (History, error) {
+	hist := History{BaselineMakespan: t.baseline}
+	params := t.Agent.Params()
+	episode := 0
+	for it := 0; it < t.Cfg.Iterations; it++ {
+		// Collect a batch of rollouts under the current ("old") policy.
+		var batch []ppoSample
+		for e := 0; e < t.Cfg.EpisodesPerIter; e++ {
+			pol := core.NewTrainingPolicy(t.Agent, t.rng)
+			res, err := t.Problem.Simulate(pol, t.rng)
+			if err != nil {
+				return hist, fmt.Errorf("rl: ppo rollout: %w", err)
+			}
+			reward := core.Reward(t.baseline, res.Makespan)
+			d := len(pol.Steps)
+			for i, st := range pol.Steps {
+				target := math.Pow(t.Cfg.Gamma, float64(d-1-i)) * reward
+				vOld := autograd.Scalar(st.Forward.Value)
+				batch = append(batch, ppoSample{
+					state:     st.State,
+					action:    st.Action,
+					oldLogP:   st.Forward.LogProbs.Value.Data[st.Action],
+					target:    target,
+					advantage: target - vOld,
+				})
+			}
+			stat := EpisodeStats{Episode: episode, Makespan: res.Makespan, Reward: reward, Entropy: pol.MeanEntropy()}
+			hist.Episodes = append(hist.Episodes, stat)
+			if progress != nil {
+				progress(stat)
+			}
+			episode++
+		}
+		// Optimise the clipped surrogate for several epochs.
+		for ep := 0; ep < t.Cfg.Epochs; ep++ {
+			params.ZeroGrad()
+			scale := 1.0 / float64(len(batch))
+			for _, s := range batch {
+				fw := t.Agent.Forward(s.state)
+				tp := fw.Binding.Tape
+
+				logp := tp.Pick(fw.LogProbs, s.action, 0)
+				ratio := tp.Exp(tp.AddConst(logp, -s.oldLogP))
+				// Clipped surrogate: the unclipped branch only contributes
+				// gradient when it is the active minimum.
+				rv := autograd.Scalar(ratio)
+				clipped := math.Min(math.Max(rv, 1-t.Cfg.ClipEps), 1+t.Cfg.ClipEps)
+				var surrogate *autograd.Node
+				if rv*s.advantage <= clipped*s.advantage {
+					surrogate = tp.Scale(ratio, s.advantage)
+				} else {
+					// Constant branch: no policy gradient flows.
+					surrogate = tp.Scale(tp.AddConst(tp.Scale(ratio, 0), clipped), s.advantage)
+				}
+				policyLoss := tp.Neg(surrogate)
+				valueErr := tp.AddConst(fw.Value, -s.target)
+				valueLoss := tp.Scale(tp.Square(valueErr), t.Cfg.ValueScale)
+				entropy := fw.Entropy()
+				loss := tp.Sub(tp.Add(policyLoss, valueLoss), tp.Scale(entropy, t.Cfg.EntropyBeta))
+				loss = tp.Scale(loss, scale)
+				tp.Backward(loss)
+				fw.Binding.Flush()
+			}
+			if t.Cfg.ClipNorm > 0 {
+				params.ClipGradNorm(t.Cfg.ClipNorm)
+			}
+			t.opt.Step(params)
+		}
+		params.ZeroGrad()
+	}
+	return hist, nil
+}

@@ -1,0 +1,97 @@
+package rl
+
+import (
+	"math"
+	"testing"
+
+	"readys/internal/core"
+	"readys/internal/taskgraph"
+)
+
+func tinyPPOCfg(iters int) PPOConfig {
+	cfg := DefaultPPOConfig()
+	cfg.Iterations = iters
+	cfg.EpisodesPerIter = 2
+	cfg.Epochs = 2
+	return cfg
+}
+
+func TestPPORunsAndRecordsHistory(t *testing.T) {
+	tr := NewPPOTrainer(tinyAgent(1), tinyProblem(), tinyPPOCfg(3))
+	var n int
+	h, err := tr.Run(func(EpisodeStats) { n++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Episodes) != 6 || n != 6 {
+		t.Fatalf("history %d episodes, callback %d", len(h.Episodes), n)
+	}
+	for _, e := range h.Episodes {
+		if e.Makespan <= 0 || math.IsNaN(e.Reward) {
+			t.Fatalf("bad stats %+v", e)
+		}
+	}
+}
+
+func TestPPOChangesParameters(t *testing.T) {
+	agent := tinyAgent(2)
+	before := snapshotParams(agent.Params())
+	tr := NewPPOTrainer(agent, tinyProblem(), tinyPPOCfg(2))
+	if _, err := tr.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if snapshotParams(agent.Params()) == before {
+		t.Fatal("PPO did not update parameters")
+	}
+	for _, p := range agent.Params().All() {
+		for _, v := range p.Value.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatal("parameter diverged")
+			}
+		}
+	}
+}
+
+func TestPPODeterministicWithSeed(t *testing.T) {
+	run := func() float64 {
+		tr := NewPPOTrainer(tinyAgent(3), tinyProblem(), tinyPPOCfg(2))
+		h, err := tr.Run(nil)
+		if err != nil {
+			panic(err)
+		}
+		return h.FinalMeanReward(4)
+	}
+	if run() != run() {
+		t.Fatal("PPO not reproducible with fixed seed")
+	}
+}
+
+func TestPPORejectsBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad config should panic")
+		}
+	}()
+	NewPPOTrainer(tinyAgent(1), tinyProblem(), PPOConfig{})
+}
+
+func TestPPOImprovesPolicy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("learning test skipped in -short mode")
+	}
+	prob := core.NewProblem(taskgraph.Cholesky, 3, 1, 1, 0)
+	agent := core.NewAgent(core.Config{Window: 2, Layers: 2, Hidden: 16, Seed: 1})
+	cfg := DefaultPPOConfig()
+	cfg.Iterations = 60
+	cfg.EpisodesPerIter = 6
+	tr := NewPPOTrainer(agent, prob, cfg)
+	h, err := tr.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := meanReward(h.Episodes[:30])
+	last := h.FinalMeanReward(30)
+	if last <= first {
+		t.Fatalf("no improvement: first %.3f last %.3f", first, last)
+	}
+}

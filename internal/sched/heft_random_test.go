@@ -1,0 +1,87 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"readys/internal/platform"
+	"readys/internal/sim"
+	"readys/internal/taskgraph"
+)
+
+// TestHEFTValidOnRandomDAGsProperty checks HEFT end to end on arbitrary
+// multi-root layered DAGs: the projection must be a feasible schedule and its
+// static replay must execute without deadlock at any noise level.
+func TestHEFTValidOnRandomDAGsProperty(t *testing.T) {
+	f := func(seed int64, sig8 uint8, cpus8, gpus8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := taskgraph.NewLayeredRandom(rng, taskgraph.DefaultRandomConfig())
+		cpus := int(cpus8%3) + 1
+		gpus := int(gpus8 % 3)
+		plat := platform.New(cpus, gpus)
+		tt := platform.TimingFor(taskgraph.Random)
+		h := HEFT(g, plat, tt)
+
+		proj := sim.Result{Makespan: h.Makespan}
+		for task := 0; task < g.NumTasks(); task++ {
+			proj.Trace = append(proj.Trace, sim.Placement{
+				Task: task, Resource: h.Assignment[task], Start: h.ProjStart[task], End: h.ProjEnd[task],
+			})
+		}
+		if sim.ValidateResult(g, plat.Size(), proj) != nil {
+			return false
+		}
+		sigma := float64(sig8%6) * 0.1
+		res, err := sim.Simulate(g, plat, tt, NewStaticPolicy(h), sim.Options{
+			Sigma: sigma, Rng: rand.New(rand.NewSource(seed + 1)),
+		})
+		if err != nil {
+			return false
+		}
+		return sim.ValidateResult(g, plat.Size(), res) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMCTValidOnRandomDAGsProperty does the same for the dynamic MCT.
+func TestMCTValidOnRandomDAGsProperty(t *testing.T) {
+	f := func(seed int64, sig8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := taskgraph.NewLayeredRandom(rng, taskgraph.DefaultRandomConfig())
+		plat := platform.New(2, 2)
+		tt := platform.TimingFor(taskgraph.Random)
+		res, err := sim.Simulate(g, plat, tt, MCTPolicy{}, sim.Options{
+			Sigma: float64(sig8%6) * 0.1, Rng: rand.New(rand.NewSource(seed + 1)),
+		})
+		if err != nil {
+			return false
+		}
+		return sim.ValidateResult(g, plat.Size(), res) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplanHEFTValidOnRandomDAGsProperty covers the adaptive variant too.
+func TestReplanHEFTValidOnRandomDAGsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := taskgraph.NewLayeredRandom(rng, taskgraph.DefaultRandomConfig())
+		plat := platform.New(2, 1)
+		tt := platform.TimingFor(taskgraph.Random)
+		res, err := sim.Simulate(g, plat, tt, NewReplanHEFTPolicy(), sim.Options{
+			Sigma: 0.4, Rng: rand.New(rand.NewSource(seed + 1)),
+		})
+		if err != nil {
+			return false
+		}
+		return sim.ValidateResult(g, plat.Size(), res) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

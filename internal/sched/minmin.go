@@ -1,0 +1,62 @@
+package sched
+
+import (
+	"math"
+
+	"readys/internal/sim"
+)
+
+// MinMinPolicy is the dynamic Min-Min heuristic: among the ready tasks, the
+// one with the globally smallest expected completion time is scheduled first,
+// on its best resource. Small tasks drain quickly, at the risk of delaying
+// the long critical-path tasks — the classical contrast to Max-Min.
+//
+// In the resource-driven decision loop, the asking resource r starts the
+// min-ECT task only if r is that task's best resource; otherwise it defers
+// (∅), letting the task's preferred resource pick it up.
+type MinMinPolicy struct{}
+
+// Reset implements sim.Policy.
+func (MinMinPolicy) Reset(*sim.State) {}
+
+// Decide implements sim.Policy.
+func (MinMinPolicy) Decide(s *sim.State, r int) int {
+	bestTask, bestRes, bestECT := sim.NoTask, -1, math.Inf(1)
+	for _, t := range s.Ready {
+		res, ect := mctChoice(s, t)
+		if ect < bestECT {
+			bestTask, bestRes, bestECT = t, res, ect
+		}
+	}
+	if bestRes == r {
+		return bestTask
+	}
+	// The globally best pair does not involve r; r may still be the best
+	// resource for some other ready task — fall back to MCT's view for r so
+	// resources are not starved.
+	return MCTPolicy{}.Decide(s, r)
+}
+
+// MaxMinPolicy is the dynamic Max-Min heuristic: among the ready tasks, the
+// one with the *largest* minimum expected completion time (the heaviest
+// remaining task) is scheduled first on its best resource. Long tasks start
+// early, which often shortens the critical path on heterogeneous platforms.
+type MaxMinPolicy struct{}
+
+// Reset implements sim.Policy.
+func (MaxMinPolicy) Reset(*sim.State) {}
+
+// Decide implements sim.Policy.
+func (MaxMinPolicy) Decide(s *sim.State, r int) int {
+	bestTask, bestRes, bestECT := sim.NoTask, -1, math.Inf(-1)
+	for _, t := range s.Ready {
+		res, ect := mctChoice(s, t)
+		if ect > bestECT {
+			bestTask, bestRes, bestECT = t, res, ect
+		}
+	}
+	if bestRes == r {
+		return bestTask
+	}
+	return MCTPolicy{}.Decide(s, r)
+}

@@ -1,0 +1,83 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"readys/internal/platform"
+	"readys/internal/sim"
+	"readys/internal/taskgraph"
+)
+
+func TestMinMinAndMaxMinValid(t *testing.T) {
+	for _, kind := range []taskgraph.Kind{taskgraph.Cholesky, taskgraph.LU, taskgraph.QR} {
+		for _, pol := range []sim.Policy{MinMinPolicy{}, MaxMinPolicy{}} {
+			g, plat, tt := setup(kind, 5, 2, 2)
+			res, err := sim.Simulate(g, plat, tt, pol, sim.Options{Sigma: 0.2, Rng: rand.New(rand.NewSource(3))})
+			if err != nil {
+				t.Fatalf("%v %T: %v", kind, pol, err)
+			}
+			if err := sim.ValidateResult(g, plat.Size(), res); err != nil {
+				t.Fatalf("%v %T: %v", kind, pol, err)
+			}
+		}
+	}
+}
+
+func TestMinMinPrefersSmallTaskFirst(t *testing.T) {
+	// Two independent tasks — one short (POTRF: GPU 8), one long (GEMM: GPU 3
+	// vs CPU 88)... choose kernels so ECTs differ: POTRF GPU=8, GEMM GPU=3.
+	// Min-Min must start GEMM (ECT 3) before POTRF (ECT 8) when the GPU asks.
+	g := taskgraph.NewCustom(taskgraph.Cholesky, [4]string{"POTRF", "TRSM", "SYRK", "GEMM"})
+	potrf := g.AddTask(taskgraph.KPOTRF, "P")
+	gemm := g.AddTask(taskgraph.KGEMM, "G")
+	plat := platform.New(0, 1)
+	tt := platform.TimingFor(taskgraph.Cholesky)
+	res, err := sim.Simulate(g, plat, tt, MinMinPolicy{}, sim.Options{Rng: rand.New(rand.NewSource(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var start [2]float64
+	for _, p := range res.Trace {
+		start[p.Task] = p.Start
+	}
+	if start[gemm] >= start[potrf] {
+		t.Fatalf("Min-Min should start the short GEMM first: %v vs %v", start[gemm], start[potrf])
+	}
+}
+
+func TestMaxMinPrefersLongTaskFirst(t *testing.T) {
+	g := taskgraph.NewCustom(taskgraph.Cholesky, [4]string{"POTRF", "TRSM", "SYRK", "GEMM"})
+	potrf := g.AddTask(taskgraph.KPOTRF, "P") // GPU: 8 (long)
+	gemm := g.AddTask(taskgraph.KGEMM, "G")   // GPU: 3 (short)
+	plat := platform.New(0, 1)
+	tt := platform.TimingFor(taskgraph.Cholesky)
+	res, err := sim.Simulate(g, plat, tt, MaxMinPolicy{}, sim.Options{Rng: rand.New(rand.NewSource(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var start [2]float64
+	for _, p := range res.Trace {
+		start[p.Task] = p.Start
+	}
+	if start[potrf] >= start[gemm] {
+		t.Fatalf("Max-Min should start the long POTRF first: %v vs %v", start[potrf], start[gemm])
+	}
+}
+
+func TestMinMinCompetitiveWithMCT(t *testing.T) {
+	// On the factorisation DAGs Min-Min should land in the same ballpark as
+	// MCT (both ECT-driven); guard against regressions making it pathological.
+	g, plat, tt := setup(taskgraph.Cholesky, 8, 2, 2)
+	mm, err := sim.Simulate(g, plat, tt, MinMinPolicy{}, sim.Options{Rng: rand.New(rand.NewSource(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mct, err := sim.Simulate(g, plat, tt, MCTPolicy{}, sim.Options{Rng: rand.New(rand.NewSource(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mm.Makespan > 1.5*mct.Makespan {
+		t.Fatalf("Min-Min %.1f too far from MCT %.1f", mm.Makespan, mct.Makespan)
+	}
+}

@@ -1,0 +1,155 @@
+package sched
+
+import (
+	"math"
+
+	"readys/internal/sim"
+)
+
+// ReplanHEFTPolicy is an adaptive variant of HEFT that answers the question
+// the paper raises implicitly: how much of HEFT's noise fragility comes from
+// the *staticness* of its plan rather than from its priorities? Each time the
+// simulator asks for a decision after the world has drifted (a task finished
+// earlier or later than planned), the policy recomputes a full HEFT schedule
+// over the remaining tasks — treating running tasks as resource reservations
+// until their estimated completion — and dispatches according to the fresh
+// plan. It is far too expensive for a real runtime (O(n²) per re-plan); here
+// it serves as an upper-bound reference for plan-based scheduling under
+// uncertainty.
+type ReplanHEFTPolicy struct {
+	plan       *HEFTSchedule
+	next       []int
+	doneAtPlan int
+}
+
+// NewReplanHEFTPolicy returns a fresh re-planning policy.
+func NewReplanHEFTPolicy() *ReplanHEFTPolicy { return &ReplanHEFTPolicy{} }
+
+// Reset implements sim.Policy.
+func (p *ReplanHEFTPolicy) Reset(s *sim.State) {
+	p.plan = nil
+	p.next = nil
+	p.doneAtPlan = -1
+}
+
+// Decide implements sim.Policy.
+func (p *ReplanHEFTPolicy) Decide(s *sim.State, r int) int {
+	if p.plan == nil || s.NumDone != p.doneAtPlan {
+		p.replan(s)
+	}
+	order := p.plan.Order[r]
+	for p.next[r] < len(order) {
+		t := order[p.next[r]]
+		if s.Done[t] || s.Started[t] {
+			p.next[r]++
+			continue
+		}
+		if s.PredLeft[t] != 0 {
+			return sim.NoTask
+		}
+		p.next[r]++
+		return t
+	}
+	return sim.NoTask
+}
+
+// replan recomputes HEFT over the unfinished, unstarted tasks. Completed
+// tasks contribute their realised end times as release dates; running tasks
+// reserve their resource until their estimated completion.
+func (p *ReplanHEFTPolicy) replan(s *sim.State) {
+	g := s.Graph
+	n := g.NumTasks()
+	rank := UpwardRanks(g, s.Platform, s.Timing)
+
+	// Remaining tasks in decreasing rank order.
+	remaining := make([]int, 0, n)
+	for t := 0; t < n; t++ {
+		if !s.Started[t] {
+			remaining = append(remaining, t)
+		}
+	}
+	sortByRankDesc(remaining, rank)
+
+	plan := &HEFTSchedule{
+		Assignment: make([]int, n),
+		Order:      make([][]int, s.Platform.Size()),
+		ProjStart:  make([]float64, n),
+		ProjEnd:    make([]float64, n),
+		Rank:       rank,
+	}
+	for i := range plan.Assignment {
+		plan.Assignment[i] = -1
+	}
+	timelines := make([][]slot, s.Platform.Size())
+	// Seed projections with reality: done tasks ended when they ended;
+	// running tasks end at their estimated completion and reserve their
+	// resource from now until then.
+	for t := 0; t < n; t++ {
+		if s.Done[t] {
+			plan.Assignment[t] = s.AssignedTo[t]
+			plan.ProjEnd[t] = s.EndTime[t]
+		} else if s.Started[t] {
+			r := s.AssignedTo[t]
+			plan.Assignment[t] = r
+			est := s.Now + s.EstTimeUntilFree(r)
+			plan.ProjEnd[t] = est
+			timelines[r] = insertSlot(timelines[r], slot{s.Now, est})
+		}
+	}
+
+	for _, t := range remaining {
+		var readyAt float64 = s.Now
+		for _, pr := range g.Pred[t] {
+			if plan.ProjEnd[pr] > readyAt {
+				readyAt = plan.ProjEnd[pr]
+			}
+		}
+		bestRes, bestStart, bestEnd := -1, 0.0, math.Inf(1)
+		for r := 0; r < s.Platform.Size(); r++ {
+			dur := s.Timing.ExpectedDuration(g.Tasks[t].Kernel, s.Platform.Resources[r].Type)
+			start := earliestGap(timelines[r], readyAt, dur)
+			if end := start + dur; end < bestEnd {
+				bestRes, bestStart, bestEnd = r, start, end
+			}
+		}
+		plan.Assignment[t] = bestRes
+		plan.ProjStart[t] = bestStart
+		plan.ProjEnd[t] = bestEnd
+		timelines[bestRes] = insertSlot(timelines[bestRes], slot{bestStart, bestEnd})
+	}
+
+	for _, t := range remaining {
+		r := plan.Assignment[t]
+		plan.Order[r] = append(plan.Order[r], t)
+	}
+	for r := range plan.Order {
+		sortByProjStart(plan.Order[r], plan.ProjStart)
+	}
+	p.plan = plan
+	p.next = make([]int, s.Platform.Size())
+	p.doneAtPlan = s.NumDone
+}
+
+func sortByRankDesc(xs []int, rank []float64) {
+	for i := 1; i < len(xs); i++ {
+		v := xs[i]
+		j := i - 1
+		for j >= 0 && (rank[xs[j]] < rank[v] || (rank[xs[j]] == rank[v] && xs[j] > v)) {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = v
+	}
+}
+
+func sortByProjStart(xs []int, start []float64) {
+	for i := 1; i < len(xs); i++ {
+		v := xs[i]
+		j := i - 1
+		for j >= 0 && start[xs[j]] > start[v] {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = v
+	}
+}

@@ -1,0 +1,83 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"readys/internal/sim"
+	"readys/internal/taskgraph"
+)
+
+func TestReplanHEFTValidAcrossFamilies(t *testing.T) {
+	for _, kind := range []taskgraph.Kind{taskgraph.Cholesky, taskgraph.LU, taskgraph.QR} {
+		g, plat, tt := setup(kind, 5, 2, 2)
+		for _, sigma := range []float64{0, 0.4} {
+			res, err := sim.Simulate(g, plat, tt, NewReplanHEFTPolicy(), sim.Options{
+				Sigma: sigma, Rng: rand.New(rand.NewSource(1)),
+			})
+			if err != nil {
+				t.Fatalf("%v σ=%v: %v", kind, sigma, err)
+			}
+			if err := sim.ValidateResult(g, plat.Size(), res); err != nil {
+				t.Fatalf("%v σ=%v: %v", kind, sigma, err)
+			}
+		}
+	}
+}
+
+func TestReplanHEFTMatchesHEFTAtSigmaZero(t *testing.T) {
+	// Without noise nothing drifts, so re-planning must reproduce (up to
+	// equal-rank tie-breaks) the static HEFT makespan.
+	g, plat, tt := setup(taskgraph.Cholesky, 6, 2, 2)
+	h := HEFT(g, plat, tt)
+	res, err := sim.Simulate(g, plat, tt, NewReplanHEFTPolicy(), sim.Options{Rng: rand.New(rand.NewSource(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Makespan-h.Makespan) > 0.05*h.Makespan {
+		t.Fatalf("replan %.1f deviates from static HEFT %.1f at σ=0", res.Makespan, h.Makespan)
+	}
+}
+
+func TestReplanHEFTBeatsStaticUnderStrongNoise(t *testing.T) {
+	// Re-planning adapts; the static replay cannot. Averaged over seeds the
+	// adaptive variant must not be worse.
+	g, plat, tt := setup(taskgraph.Cholesky, 8, 2, 2)
+	h := HEFT(g, plat, tt)
+	var staticSum, replanSum float64
+	const runs = 15
+	for i := 0; i < runs; i++ {
+		rs, err := sim.Simulate(g, plat, tt, NewStaticPolicy(h), sim.Options{
+			Sigma: 0.6, Rng: rand.New(rand.NewSource(int64(i))),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		staticSum += rs.Makespan
+		rr, err := sim.Simulate(g, plat, tt, NewReplanHEFTPolicy(), sim.Options{
+			Sigma: 0.6, Rng: rand.New(rand.NewSource(int64(i))),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		replanSum += rr.Makespan
+	}
+	if replanSum > staticSum*1.02 {
+		t.Fatalf("replanning HEFT (%.0f) worse than static (%.0f) under noise", replanSum/runs, staticSum/runs)
+	}
+}
+
+func TestReplanHEFTResetBetweenEpisodes(t *testing.T) {
+	g, plat, tt := setup(taskgraph.LU, 4, 2, 2)
+	pol := NewReplanHEFTPolicy()
+	for i := 0; i < 3; i++ {
+		res, err := sim.Simulate(g, plat, tt, pol, sim.Options{Sigma: 0.3, Rng: rand.New(rand.NewSource(int64(i)))})
+		if err != nil {
+			t.Fatalf("episode %d: %v", i, err)
+		}
+		if err := sim.ValidateResult(g, plat.Size(), res); err != nil {
+			t.Fatalf("episode %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"math"
+	"sort"
+
+	"readys/internal/platform"
+	"readys/internal/taskgraph"
+)
+
+// ScheduleStats summarises a simulated schedule beyond its makespan: where
+// the time went, how each kernel type was placed across resource types, and
+// the realised critical chain that determined the makespan.
+type ScheduleStats struct {
+	Makespan float64
+	// BusyTime[r] is the total computing time of resource r; IdleTime[r] is
+	// Makespan − BusyTime[r].
+	BusyTime []float64
+	IdleTime []float64
+	// MeanUtilisation is the average of BusyTime/Makespan over resources.
+	MeanUtilisation float64
+	// KernelPlacement[k][t] counts tasks of kernel k executed on resource
+	// type t — the learned (or heuristic) allocation split.
+	KernelPlacement [taskgraph.NumKernels][platform.NumResourceTypes]int
+	// CriticalChain is a realised blocking chain ending at the last-finishing
+	// task: each element starts exactly when its blocking predecessor — a DAG
+	// parent or the previous task on the same resource — ends. Its length is
+	// a lower-bound witness for the achieved makespan.
+	CriticalChain []int
+}
+
+// Analyze computes ScheduleStats for a completed simulation result.
+func Analyze(g *taskgraph.Graph, plat platform.Platform, res Result) ScheduleStats {
+	st := ScheduleStats{
+		Makespan: res.Makespan,
+		BusyTime: make([]float64, plat.Size()),
+		IdleTime: make([]float64, plat.Size()),
+	}
+	byTask := make([]Placement, g.NumTasks())
+	perRes := make([][]Placement, plat.Size())
+	for _, p := range res.Trace {
+		byTask[p.Task] = p
+		st.BusyTime[p.Resource] += p.End - p.Start
+		st.KernelPlacement[g.Tasks[p.Task].Kernel][plat.Resources[p.Resource].Type]++
+		perRes[p.Resource] = append(perRes[p.Resource], p)
+	}
+	var utilSum float64
+	for r := range st.BusyTime {
+		st.IdleTime[r] = res.Makespan - st.BusyTime[r]
+		if res.Makespan > 0 {
+			utilSum += st.BusyTime[r] / res.Makespan
+		}
+	}
+	st.MeanUtilisation = utilSum / float64(plat.Size())
+
+	// Resource-order predecessor lookup.
+	prevOnRes := make(map[int]int) // task -> previous task on same resource, or absent
+	for _, ps := range perRes {
+		sort.Slice(ps, func(a, b int) bool {
+			if ps[a].Start != ps[b].Start {
+				return ps[a].Start < ps[b].Start
+			}
+			return ps[a].End < ps[b].End
+		})
+		for i := 1; i < len(ps); i++ {
+			prevOnRes[ps[i].Task] = ps[i-1].Task
+		}
+	}
+
+	// Walk the blocking chain backwards from the last-finishing task.
+	last, lastEnd := -1, math.Inf(-1)
+	for t, p := range byTask {
+		if p.End > lastEnd {
+			last, lastEnd = t, p.End
+		}
+	}
+	const eps = 1e-9
+	var chain []int
+	for t := last; t >= 0; {
+		chain = append(chain, t)
+		p := byTask[t]
+		blocker := -1
+		// A DAG parent finishing exactly at our start blocks us...
+		for _, pr := range g.Pred[t] {
+			if math.Abs(byTask[pr].End-p.Start) <= eps {
+				blocker = pr
+				break
+			}
+		}
+		// ...otherwise the previous task on the same resource might.
+		if blocker == -1 {
+			if pr, ok := prevOnRes[t]; ok && math.Abs(byTask[pr].End-p.Start) <= eps {
+				blocker = pr
+			}
+		}
+		t = blocker
+	}
+	// Reverse into execution order.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	st.CriticalChain = chain
+	return st
+}
+
+// GPUShare returns the fraction of tasks of kernel k that ran on GPUs.
+func (s ScheduleStats) GPUShare(k taskgraph.Kernel) float64 {
+	total := s.KernelPlacement[k][platform.CPU] + s.KernelPlacement[k][platform.GPU]
+	if total == 0 {
+		return 0
+	}
+	return float64(s.KernelPlacement[k][platform.GPU]) / float64(total)
+}

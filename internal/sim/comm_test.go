@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"readys/internal/platform"
+	"readys/internal/taskgraph"
+)
+
+// pinPolicy assigns each task to a fixed resource (NoTask when the asking
+// resource is not the pinned one).
+type pinPolicy struct {
+	pin map[int]int
+}
+
+func (p pinPolicy) Reset(*State) {}
+func (p pinPolicy) Decide(s *State, r int) int {
+	for _, t := range s.Ready {
+		if p.pin[t] == r {
+			return t
+		}
+	}
+	return NoTask
+}
+
+func TestCommModelCost(t *testing.T) {
+	c := &platform.CommModel{LatencyMs: 1, TileBytes: 100, BandwidthBytesPerMs: 50}
+	if c.Cost(0, 0) != 0 {
+		t.Fatal("same-resource transfer must be free")
+	}
+	if got := c.Cost(0, 1); got != 3 { // 1 + 100/50
+		t.Fatalf("cost = %v, want 3", got)
+	}
+	var nilModel *platform.CommModel
+	if nilModel.Cost(0, 1) != 0 {
+		t.Fatal("nil model must be free")
+	}
+	if nilModel.MeanCost(4) != 0 {
+		t.Fatal("nil mean cost must be 0")
+	}
+	if got := c.MeanCost(2); math.Abs(got-1.5) > 1e-12 { // 3 * 1/2
+		t.Fatalf("mean cost = %v, want 1.5", got)
+	}
+}
+
+func TestDefaultCommModelIsSmallVsKernels(t *testing.T) {
+	c := platform.DefaultCommModel()
+	cost := c.Cost(0, 1)
+	if cost <= 0 || cost > 2 {
+		t.Fatalf("default transfer cost %v ms should be sub-2ms (overlap regime)", cost)
+	}
+}
+
+func TestCommStallOnCrossResourceChain(t *testing.T) {
+	// Chain A→B pinned to different resources: B's completion is delayed by
+	// exactly the transfer cost relative to the comm-free run.
+	g := taskgraph.NewCustom(taskgraph.Cholesky, [4]string{"POTRF", "TRSM", "SYRK", "GEMM"})
+	a := g.AddTask(taskgraph.KPOTRF, "A")
+	b := g.AddTask(taskgraph.KPOTRF, "B")
+	g.AddEdge(a, b)
+	plat := platform.New(2, 0)
+	tt := platform.TimingFor(taskgraph.Cholesky)
+	pin := pinPolicy{pin: map[int]int{a: 0, b: 1}}
+
+	free, err := Simulate(g, plat, tt, pin, Options{Rng: rand.New(rand.NewSource(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm := &platform.CommModel{LatencyMs: 5, TileBytes: 0, BandwidthBytesPerMs: 1}
+	withComm, err := Simulate(g, plat, tt, pin, Options{Rng: rand.New(rand.NewSource(1)), Comm: comm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(withComm.Makespan-(free.Makespan+5)) > 1e-9 {
+		t.Fatalf("comm makespan %v, want %v", withComm.Makespan, free.Makespan+5)
+	}
+}
+
+func TestCommSameResourceNoStall(t *testing.T) {
+	g := taskgraph.NewCustom(taskgraph.Cholesky, [4]string{"POTRF", "TRSM", "SYRK", "GEMM"})
+	a := g.AddTask(taskgraph.KPOTRF, "A")
+	b := g.AddTask(taskgraph.KPOTRF, "B")
+	g.AddEdge(a, b)
+	plat := platform.New(1, 0)
+	tt := platform.TimingFor(taskgraph.Cholesky)
+	comm := &platform.CommModel{LatencyMs: 100, TileBytes: 0, BandwidthBytesPerMs: 1}
+	res, err := Simulate(g, plat, tt, fifoPolicy{}, Options{Rng: rand.New(rand.NewSource(1)), Comm: comm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 32 { // two POTRFs back to back on the CPU
+		t.Fatalf("same-resource chain stalled: makespan %v", res.Makespan)
+	}
+}
+
+func TestCommSchedulesRemainValid(t *testing.T) {
+	g := taskgraph.NewCholesky(5)
+	plat := platform.New(2, 2)
+	tt := platform.TimingFor(taskgraph.Cholesky)
+	res, err := Simulate(g, plat, tt, fifoPolicy{}, Options{
+		Sigma: 0.3, Comm: platform.DefaultCommModel(), Rng: rand.New(rand.NewSource(2)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateResult(g, plat.Size(), res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommIncreasesMakespanMonotonically(t *testing.T) {
+	g := taskgraph.NewCholesky(6)
+	plat := platform.New(2, 2)
+	tt := platform.TimingFor(taskgraph.Cholesky)
+	run := func(c *platform.CommModel) float64 {
+		res, err := Simulate(g, plat, tt, fifoPolicy{}, Options{Rng: rand.New(rand.NewSource(3)), Comm: c})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+	base := run(nil)
+	slow := run(&platform.CommModel{LatencyMs: 20, TileBytes: 0, BandwidthBytesPerMs: 1})
+	if slow <= base {
+		t.Fatalf("expensive comm should hurt: %v vs %v", slow, base)
+	}
+}
+
+func TestDataReadyTime(t *testing.T) {
+	g := taskgraph.NewCustom(taskgraph.Cholesky, [4]string{"POTRF", "TRSM", "SYRK", "GEMM"})
+	a := g.AddTask(taskgraph.KPOTRF, "A")
+	b := g.AddTask(taskgraph.KPOTRF, "B")
+	c := g.AddTask(taskgraph.KPOTRF, "C")
+	g.AddEdge(a, c)
+	g.AddEdge(b, c)
+	s := &State{
+		Graph:      g,
+		Comm:       &platform.CommModel{LatencyMs: 2, TileBytes: 0, BandwidthBytesPerMs: 1},
+		EndTime:    []float64{10, 12, 0},
+		AssignedTo: []int{0, 1, -1},
+	}
+	// On resource 1: A needs transfer (10+2), B local (12) → 12.
+	if got := s.DataReadyTime(c, 1); got != 12 {
+		t.Fatalf("data ready on r1 = %v, want 12", got)
+	}
+	// On resource 0: A local (10), B transfers (12+2) → 14.
+	if got := s.DataReadyTime(c, 0); got != 14 {
+		t.Fatalf("data ready on r0 = %v, want 14", got)
+	}
+}

@@ -1,0 +1,408 @@
+// Package sim is the discrete-event simulator on which every scheduler in
+// this repository — HEFT, MCT, random and the READYS agent — is evaluated,
+// mirroring the simulation methodology of the paper (§V-B).
+//
+// The engine advances simulated time from task-completion event to
+// task-completion event. Whenever at least one resource is free and at least
+// one task is ready, it repeatedly picks a free resource ("the current
+// processor", chosen uniformly at random as in §III-B) and asks the Policy to
+// either start a ready task on it or leave it idle (the ∅ action) until the
+// next event. Actual task durations are drawn from the platform's stochastic
+// duration model at start time, so dynamic policies observe — and can react
+// to — realised durations, while static policies suffer from drift, exactly
+// the phenomenon the paper studies.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"readys/internal/platform"
+	"readys/internal/taskgraph"
+)
+
+// NoTask is returned by a Policy to leave the current resource idle until the
+// next completion event (the paper's ∅ action).
+const NoTask = -1
+
+// State is the complete runtime state visible to scheduling policies.
+// Policies must treat it as read-only.
+type State struct {
+	Graph    *taskgraph.Graph
+	Platform platform.Platform
+	Timing   platform.Timing
+	Sigma    float64
+	// Comm is the optional communication model (nil = free communication,
+	// the paper's setting).
+	Comm *platform.CommModel
+
+	// Now is the current simulated time in ms.
+	Now float64
+	// Ready lists the ready tasks (all predecessors done, not started),
+	// sorted by task ID.
+	Ready []int
+	// Running lists the currently executing tasks, sorted by task ID.
+	Running []int
+
+	// Status per task.
+	Done      []bool
+	Started   []bool
+	StartTime []float64
+	EndTime   []float64
+	// AssignedTo[i] is the resource executing (or having executed) task i,
+	// or -1.
+	AssignedTo []int
+
+	// BusyUntil[r] is the time at which resource r finishes its current
+	// task (<= Now when free). RunningTask[r] is the task executing on r,
+	// or -1.
+	BusyUntil   []float64
+	RunningTask []int
+
+	// NumDone counts completed tasks.
+	NumDone int
+	// PredLeft[i] counts unfinished predecessors of task i.
+	PredLeft []int
+
+	// MustAct is set by the engine during a forced decision round: every
+	// free resource declined while no task was running, so simulated time
+	// cannot advance unless someone starts a task. Policies that support
+	// the ∅ action must not idle when MustAct is true.
+	MustAct bool
+}
+
+// NumRunning returns the number of tasks currently executing.
+func (s *State) NumRunning() int { return len(s.Running) }
+
+// IsFree reports whether resource r is idle at s.Now.
+func (s *State) IsFree(r int) bool { return s.RunningTask[r] == NoTask }
+
+// FreeResources returns the IDs of idle resources in ascending order.
+func (s *State) FreeResources() []int {
+	var out []int
+	for r := range s.RunningTask {
+		if s.RunningTask[r] == NoTask {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// TimeUntilFree returns max(0, BusyUntil[r] - Now): the *actual* wait before
+// resource r becomes available (0 when free). Only the engine knows this
+// exactly; schedulers should use EstTimeUntilFree, which is based on expected
+// durations.
+func (s *State) TimeUntilFree(r int) float64 {
+	d := s.BusyUntil[r] - s.Now
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// EstTimeUntilFree returns the wait before resource r becomes available as a
+// scheduler can estimate it: the running task's start time plus its
+// *expected* duration, clamped at zero when the task is overdue. This is the
+// "estimated time at which it will be available" resource feature of §III-B;
+// under duration noise it deviates from the truth, which is exactly the
+// information imperfection dynamic schedulers must cope with.
+func (s *State) EstTimeUntilFree(r int) float64 {
+	t := s.RunningTask[r]
+	if t == NoTask {
+		return 0
+	}
+	e := s.Timing.ExpectedDuration(s.Graph.Tasks[t].Kernel, s.Platform.Resources[r].Type)
+	d := s.StartTime[t] + e - s.Now
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// Policy decides, each time a free resource must be filled, which ready task
+// to start on it (or NoTask for ∅). Implementations may keep internal state;
+// Reset is called once per episode before the first decision.
+type Policy interface {
+	// Reset prepares the policy for a fresh episode on the given problem.
+	// It is called after the State has been initialised.
+	Reset(s *State)
+	// Decide returns a task from s.Ready to start on resource r, or NoTask.
+	Decide(s *State, r int) int
+}
+
+// Placement records where and when one task executed.
+type Placement struct {
+	Task     int
+	Resource int
+	Start    float64
+	End      float64
+}
+
+// Result is the outcome of one simulated schedule.
+type Result struct {
+	Makespan  float64
+	Trace     []Placement
+	Decisions int
+	// IdleDecisions counts ∅ actions taken.
+	IdleDecisions int
+}
+
+// Options configures a simulation run.
+type Options struct {
+	// Sigma is the duration noise level (§V-B).
+	Sigma float64
+	// Comm enables the communication-cost extension (nil = free, as in the
+	// paper).
+	Comm *platform.CommModel
+	// Rng drives duration sampling and the random choice of the current
+	// processor. Required.
+	Rng *rand.Rand
+	// OnDecision, if non-nil, is invoked after every policy decision with
+	// the state, the resource asked, and the chosen task (or NoTask). Used
+	// by the RL trainer to record trajectories.
+	OnDecision func(s *State, resource, task int)
+}
+
+// ErrDeadlock is returned when every resource idles while no task is running
+// and tasks remain: simulated time can no longer advance.
+var ErrDeadlock = errors.New("sim: all resources idle with no running task but tasks remain")
+
+// Simulate executes the whole DAG under the policy and returns the schedule.
+// The graph must be a valid DAG. An error is returned if the policy picks a
+// non-ready task or deadlocks the system.
+func Simulate(g *taskgraph.Graph, plat platform.Platform, timing platform.Timing, pol Policy, opt Options) (Result, error) {
+	if opt.Rng == nil {
+		return Result{}, errors.New("sim: Options.Rng is required")
+	}
+	n := g.NumTasks()
+	s := &State{
+		Graph:       g,
+		Platform:    plat,
+		Timing:      timing,
+		Sigma:       opt.Sigma,
+		Comm:        opt.Comm,
+		Done:        make([]bool, n),
+		Started:     make([]bool, n),
+		StartTime:   make([]float64, n),
+		EndTime:     make([]float64, n),
+		AssignedTo:  make([]int, n),
+		BusyUntil:   make([]float64, plat.Size()),
+		RunningTask: make([]int, plat.Size()),
+		PredLeft:    make([]int, n),
+	}
+	for i := range s.AssignedTo {
+		s.AssignedTo[i] = -1
+	}
+	for r := range s.RunningTask {
+		s.RunningTask[r] = NoTask
+	}
+	for i := 0; i < n; i++ {
+		s.PredLeft[i] = len(g.Pred[i])
+		if s.PredLeft[i] == 0 {
+			s.Ready = append(s.Ready, i)
+		}
+	}
+	pol.Reset(s)
+
+	res := Result{Trace: make([]Placement, 0, n)}
+	for s.NumDone < n {
+		// Decision phase: fill free resources until the policy declines
+		// every remaining one or no ready task is left.
+		if err := decisionPhase(s, pol, opt, &res); err != nil {
+			return res, err
+		}
+		if s.NumDone == n {
+			break
+		}
+		if len(s.Running) == 0 {
+			// Every free resource idled while nothing runs: time cannot
+			// advance. Re-ask in forced mode (∅ disallowed) until someone
+			// starts a task.
+			if err := forcedPhase(s, pol, opt, &res); err != nil {
+				return res, err
+			}
+		}
+		// Advance to the earliest completion.
+		completeNext(s)
+	}
+	res.Makespan = s.Now
+	for i := 0; i < n; i++ {
+		res.Trace = append(res.Trace, Placement{Task: i, Resource: s.AssignedTo[i], Start: s.StartTime[i], End: s.EndTime[i]})
+	}
+	return res, nil
+}
+
+// decisionPhase asks the policy to fill free resources. Each free resource is
+// asked at most once per phase (an ∅ answer parks it until the next event),
+// and the "current processor" is drawn uniformly at random among the not-yet-
+// asked free resources, as in §III-B.
+func decisionPhase(s *State, pol Policy, opt Options, res *Result) error {
+	free := s.FreeResources()
+	// Shuffle so the current processor is uniform among free ones.
+	opt.Rng.Shuffle(len(free), func(i, j int) { free[i], free[j] = free[j], free[i] })
+	for _, r := range free {
+		if len(s.Ready) == 0 {
+			break
+		}
+		task := pol.Decide(s, r)
+		res.Decisions++
+		if opt.OnDecision != nil {
+			opt.OnDecision(s, r, task)
+		}
+		if task == NoTask {
+			res.IdleDecisions++
+			continue
+		}
+		if err := startTask(s, task, r, opt.Rng); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DataReadyTime returns the earliest time the inputs of a ready task are
+// available on resource r: the max over predecessors of their completion time
+// plus the transfer cost from their resource to r. Equals the predecessors'
+// max end time when no communication model is set.
+func (s *State) DataReadyTime(task, r int) float64 {
+	var ready float64
+	for _, p := range s.Graph.Pred[task] {
+		at := s.EndTime[p] + s.Comm.Cost(s.AssignedTo[p], r)
+		if at > ready {
+			ready = at
+		}
+	}
+	return ready
+}
+
+// forcedPhase re-asks free resources with MustAct set until one starts a
+// task. It is only entered when nothing is running and every resource idled;
+// a policy that still declines every resource deadlocks the system.
+func forcedPhase(s *State, pol Policy, opt Options, res *Result) error {
+	s.MustAct = true
+	defer func() { s.MustAct = false }()
+	free := s.FreeResources()
+	opt.Rng.Shuffle(len(free), func(i, j int) { free[i], free[j] = free[j], free[i] })
+	for _, r := range free {
+		if len(s.Ready) == 0 {
+			break
+		}
+		task := pol.Decide(s, r)
+		res.Decisions++
+		if opt.OnDecision != nil {
+			opt.OnDecision(s, r, task)
+		}
+		if task == NoTask {
+			res.IdleDecisions++
+			continue
+		}
+		if err := startTask(s, task, r, opt.Rng); err != nil {
+			return err
+		}
+		return nil // time can advance again
+	}
+	return ErrDeadlock
+}
+
+// startTask begins executing task on resource r at s.Now, sampling its actual
+// duration.
+func startTask(s *State, task, r int, rng *rand.Rand) error {
+	if task < 0 || task >= s.Graph.NumTasks() {
+		return fmt.Errorf("sim: policy chose invalid task %d", task)
+	}
+	if s.Started[task] {
+		return fmt.Errorf("sim: policy chose already-started task %d", task)
+	}
+	if s.PredLeft[task] != 0 {
+		return fmt.Errorf("sim: policy chose non-ready task %d (%d predecessors pending)", task, s.PredLeft[task])
+	}
+	if !s.IsFree(r) {
+		return fmt.Errorf("sim: resource %d is busy", r)
+	}
+	dur := s.Timing.SampleDuration(rng, s.Graph.Tasks[task].Kernel, s.Platform.Resources[r].Type, s.Sigma)
+	// Communication extension: the computation stalls until every input tile
+	// produced on another resource has arrived (transfers overlap but data
+	// cannot be consumed before it lands).
+	stall := s.DataReadyTime(task, r) - s.Now
+	if stall < 0 {
+		stall = 0
+	}
+	s.Started[task] = true
+	s.StartTime[task] = s.Now
+	s.EndTime[task] = s.Now + stall + dur
+	s.AssignedTo[task] = r
+	s.RunningTask[r] = task
+	s.BusyUntil[r] = s.Now + dur
+	s.Ready = removeSorted(s.Ready, task)
+	s.Running = insertSorted(s.Running, task)
+	return nil
+}
+
+// completeNext advances time to the earliest running-task completion and
+// retires every task finishing at that instant.
+func completeNext(s *State) {
+	earliest := math.Inf(1)
+	for _, t := range s.Running {
+		if s.EndTime[t] < earliest {
+			earliest = s.EndTime[t]
+		}
+	}
+	s.Now = earliest
+	// Retire all tasks completing now (ties happen with sigma = 0).
+	for i := 0; i < len(s.Running); {
+		t := s.Running[i]
+		if s.EndTime[t] <= s.Now {
+			s.Running = append(s.Running[:i], s.Running[i+1:]...)
+			finishTask(s, t)
+			continue
+		}
+		i++
+	}
+}
+
+func finishTask(s *State, t int) {
+	s.Done[t] = true
+	s.NumDone++
+	r := s.AssignedTo[t]
+	s.RunningTask[r] = NoTask
+	for _, succ := range s.Graph.Succ[t] {
+		s.PredLeft[succ]--
+		if s.PredLeft[succ] == 0 {
+			s.Ready = insertSorted(s.Ready, succ)
+		}
+	}
+}
+
+func insertSorted(xs []int, v int) []int {
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if xs[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	xs = append(xs, 0)
+	copy(xs[lo+1:], xs[lo:])
+	xs[lo] = v
+	return xs
+}
+
+func removeSorted(xs []int, v int) []int {
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if xs[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(xs) || xs[lo] != v {
+		panic(fmt.Sprintf("sim: %d not found in sorted slice", v))
+	}
+	return append(xs[:lo], xs[lo+1:]...)
+}

@@ -1,0 +1,37 @@
+package sim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestWriteGanttSVG(t *testing.T) {
+	g, plat, tim := chol(4)
+	res, err := Simulate(g, plat, tim, fifoPolicy{}, Options{Rng: rand.New(rand.NewSource(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteGanttSVG(&sb, g, plat, res); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"<svg", "</svg>", "POTRF(0)", "makespan", "CPU", "GPU"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	// One rect per task placement (plus lanes/background/legend).
+	if n := strings.Count(out, "<title>"); n != g.NumTasks() {
+		t.Fatalf("%d task titles, want %d", n, g.NumTasks())
+	}
+}
+
+func TestWriteGanttSVGRejectsEmpty(t *testing.T) {
+	g, plat, _ := chol(2)
+	var sb strings.Builder
+	if err := WriteGanttSVG(&sb, g, plat, Result{}); err == nil {
+		t.Fatal("empty schedule should error")
+	}
+}

@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"readys/internal/taskgraph"
+)
+
+// ValidateResult checks that a simulation result is a feasible schedule:
+// every task placed exactly once on an existing resource, precedence
+// constraints respected (a task starts no earlier than the completion of all
+// its predecessors), and no two tasks overlapping on the same resource.
+// It returns the first violation found, or nil.
+func ValidateResult(g *taskgraph.Graph, numResources int, res Result) error {
+	n := g.NumTasks()
+	if len(res.Trace) != n {
+		return fmt.Errorf("sim: trace has %d placements for %d tasks", len(res.Trace), n)
+	}
+	byTask := make([]Placement, n)
+	seen := make([]bool, n)
+	for _, p := range res.Trace {
+		if p.Task < 0 || p.Task >= n {
+			return fmt.Errorf("sim: placement for unknown task %d", p.Task)
+		}
+		if seen[p.Task] {
+			return fmt.Errorf("sim: task %d placed twice", p.Task)
+		}
+		seen[p.Task] = true
+		if p.Resource < 0 || p.Resource >= numResources {
+			return fmt.Errorf("sim: task %d on unknown resource %d", p.Task, p.Resource)
+		}
+		if p.End < p.Start {
+			return fmt.Errorf("sim: task %d ends (%.3f) before it starts (%.3f)", p.Task, p.End, p.Start)
+		}
+		byTask[p.Task] = p
+	}
+	// Precedence.
+	for j := 0; j < n; j++ {
+		for _, i := range g.Pred[j] {
+			if byTask[j].Start < byTask[i].End-1e-9 {
+				return fmt.Errorf("sim: task %d starts at %.3f before predecessor %d ends at %.3f",
+					j, byTask[j].Start, i, byTask[i].End)
+			}
+		}
+	}
+	// Resource exclusivity.
+	perRes := make([][]Placement, numResources)
+	for _, p := range byTask {
+		perRes[p.Resource] = append(perRes[p.Resource], p)
+	}
+	for r, ps := range perRes {
+		// Sort by (start, end) so zero-duration tasks sharing a start
+		// instant with a longer one are not misreported as overlapping.
+		sort.Slice(ps, func(a, b int) bool {
+			if ps[a].Start != ps[b].Start {
+				return ps[a].Start < ps[b].Start
+			}
+			return ps[a].End < ps[b].End
+		})
+		for i := 1; i < len(ps); i++ {
+			if ps[i].Start < ps[i-1].End-1e-9 {
+				return fmt.Errorf("sim: resource %d runs tasks %d and %d concurrently", r, ps[i-1].Task, ps[i].Task)
+			}
+		}
+	}
+	// Makespan consistency.
+	var maxEnd float64
+	for _, p := range byTask {
+		if p.End > maxEnd {
+			maxEnd = p.End
+		}
+	}
+	if maxEnd-res.Makespan > 1e-9 || res.Makespan-maxEnd > 1e-9 {
+		return fmt.Errorf("sim: makespan %.3f != max end time %.3f", res.Makespan, maxEnd)
+	}
+	return nil
+}

@@ -1,0 +1,29 @@
+package taskgraph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// kernelColors give each kernel type a distinct fill in DOT renderings.
+var kernelColors = [NumKernels]string{"#e8956d", "#8fbf6f", "#7aa6c2", "#c2a878"}
+
+// WriteDOT renders the graph in Graphviz DOT format: one node per task
+// labelled with its name, coloured by kernel type, one edge per dependency.
+func WriteDOT(w io.Writer, g *Graph) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %s {\n", g.Kind)
+	b.WriteString("  rankdir=TB;\n  node [shape=box, style=filled];\n")
+	for _, t := range g.Tasks {
+		fmt.Fprintf(&b, "  t%d [label=%q, fillcolor=%q];\n", t.ID, t.Name, kernelColors[t.Kernel])
+	}
+	for i, succ := range g.Succ {
+		for _, j := range succ {
+			fmt.Fprintf(&b, "  t%d -> t%d;\n", i, j)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,110 @@
+package taskgraph
+
+// DescendantFeatures computes the per-task descendant-type summary F(i) of
+// §III-B. The unnormalised form is defined recursively over successors:
+//
+//	F̄(i) = onehot(type(i)) + Σ_{c ∈ S(i)} F̄(c) / |P(c)|
+//
+// and F(i) = F̄(i) / F̄(root), componentwise. Splitting each child's vector
+// across its |P(c)| parents makes Σ over the roots of each component equal to
+// the number of tasks of that type, so F(root) is the all-ones vector and
+// every F(i) component lies in [0, 1]: F(i) measures which fraction of the
+// remaining work of each kernel type flows through task i.
+//
+// For graphs with several roots the normaliser is the componentwise sum of
+// F̄ over all roots (which equals F̄(root) when the root is unique).
+// Components whose normaliser is zero (no task of that type) are zero.
+//
+// The result is an NumTasks x NumKernels row-major matrix flattened as
+// [][NumKernels]float64.
+func DescendantFeatures(g *Graph) [][NumKernels]float64 {
+	n := g.NumTasks()
+	raw := make([][NumKernels]float64, n)
+	order, err := g.TopoOrder()
+	if err != nil {
+		panic(err)
+	}
+	// Reverse topological order: successors are finalised before their
+	// predecessors.
+	for idx := n - 1; idx >= 0; idx-- {
+		i := order[idx]
+		raw[i][g.Tasks[i].Kernel] += 1
+		for _, c := range g.Succ[i] {
+			share := 1.0 / float64(len(g.Pred[c]))
+			for k := 0; k < NumKernels; k++ {
+				raw[i][k] += raw[c][k] * share
+			}
+		}
+	}
+	var norm [NumKernels]float64
+	for _, r := range g.Roots() {
+		for k := 0; k < NumKernels; k++ {
+			norm[k] += raw[r][k]
+		}
+	}
+	out := make([][NumKernels]float64, n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < NumKernels; k++ {
+			if norm[k] > 0 {
+				out[i][k] = raw[i][k] / norm[k]
+			}
+		}
+	}
+	return out
+}
+
+// Window returns the sub-DAG retained in the READYS state (§III-B): the
+// running tasks, the ready tasks, and every descendant of a running or ready
+// task whose depth is at most w, where the depth of a descendant is the
+// minimum length over paths from any running/ready task to it.
+//
+// The result is sorted by task ID. w = 0 keeps only running and ready tasks.
+func Window(g *Graph, running, ready []int, w int) []int {
+	type qitem struct {
+		task  int
+		depth int
+	}
+	depth := make(map[int]int)
+	queue := make([]qitem, 0, len(running)+len(ready))
+	for _, t := range running {
+		depth[t] = 0
+		queue = append(queue, qitem{t, 0})
+	}
+	for _, t := range ready {
+		depth[t] = 0
+		queue = append(queue, qitem{t, 0})
+	}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if it.depth == w {
+			continue
+		}
+		for _, s := range g.Succ[it.task] {
+			if d, seen := depth[s]; !seen || it.depth+1 < d {
+				depth[s] = it.depth + 1
+				queue = append(queue, qitem{s, it.depth + 1})
+			}
+		}
+	}
+	out := make([]int, 0, len(depth))
+	for t := range depth {
+		out = append(out, t)
+	}
+	sortInts(out)
+	return out
+}
+
+// sortInts is a small insertion/quick hybrid avoiding the sort import here;
+// window sets are small (tens of tasks).
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		v := xs[i]
+		j := i - 1
+		for j >= 0 && xs[j] > v {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = v
+	}
+}

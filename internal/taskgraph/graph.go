@@ -1,0 +1,326 @@
+// Package taskgraph models the directed acyclic task graphs scheduled by
+// READYS and generates the three tiled dense linear-algebra DAG families the
+// paper evaluates on: Cholesky, LU and QR factorisations (§V-A), plus layered
+// random DAGs for generality testing.
+//
+// Each DAG family uses exactly four kernel types (the paper's "small number
+// (typically 4) of kernels"); kernels index the per-resource timing tables in
+// package platform. The package also computes the per-task descendant-type
+// feature F(i) of §III-B and the sliding-window sub-DAG extraction that
+// defines the READYS state.
+package taskgraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kernel identifies one of the four computational kernels of a DAG family.
+// The integer value indexes timing tables; the human-readable name depends on
+// the family (e.g. kernel 0 is POTRF for Cholesky, GETRF for LU, GEQRT for QR).
+type Kernel int
+
+// NumKernels is the number of kernel types per DAG family.
+const NumKernels = 4
+
+// Kind enumerates the DAG families.
+type Kind int
+
+// DAG families. Cholesky, LU and QR are the paper's evaluation kernels;
+// Gemm, Stencil, ForkJoin and Random are additional families for generality
+// testing.
+const (
+	Cholesky Kind = iota
+	LU
+	QR
+	Random
+	Gemm
+	Stencil
+	ForkJoin
+)
+
+// String returns the family name.
+func (k Kind) String() string {
+	switch k {
+	case Cholesky:
+		return "cholesky"
+	case LU:
+		return "lu"
+	case QR:
+		return "qr"
+	case Random:
+		return "random"
+	case Gemm:
+		return "gemm"
+	case Stencil:
+		return "stencil"
+	case ForkJoin:
+		return "forkjoin"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// KindFromString parses a family name as produced by Kind.String.
+func KindFromString(s string) (Kind, error) {
+	switch s {
+	case "cholesky":
+		return Cholesky, nil
+	case "lu":
+		return LU, nil
+	case "qr":
+		return QR, nil
+	case "random":
+		return Random, nil
+	case "gemm":
+		return Gemm, nil
+	case "stencil":
+		return Stencil, nil
+	case "forkjoin":
+		return ForkJoin, nil
+	default:
+		return 0, fmt.Errorf("taskgraph: unknown DAG kind %q", s)
+	}
+}
+
+// Task is one vertex of the DAG.
+type Task struct {
+	ID     int
+	Kernel Kernel
+	// Name is a human-readable label such as "GEMM(3,2,1)".
+	Name string
+}
+
+// Graph is a directed acyclic task graph. Tasks are identified by their index
+// in Tasks; Succ[i] and Pred[i] list the direct successors and predecessors
+// of task i.
+type Graph struct {
+	Kind  Kind
+	Tiles int // tile count T for factorisation DAGs, 0 for random DAGs
+	Tasks []Task
+	Succ  [][]int
+	Pred  [][]int
+
+	// KernelNames maps kernel indices to family-specific names.
+	KernelNames [NumKernels]string
+
+	edgeSet map[[2]int]struct{}
+}
+
+// newGraph allocates an empty graph of the given family.
+func newGraph(kind Kind, tiles int, kernelNames [NumKernels]string) *Graph {
+	return &Graph{
+		Kind:        kind,
+		Tiles:       tiles,
+		KernelNames: kernelNames,
+		edgeSet:     make(map[[2]int]struct{}),
+	}
+}
+
+// NewCustom returns an empty graph to be populated with AddTask/AddEdge —
+// the entry point for scheduling application DAGs that are not one of the
+// built-in factorisation families. Kernel indices in the new graph index the
+// timing table of the given kind.
+func NewCustom(kind Kind, kernelNames [NumKernels]string) *Graph {
+	return newGraph(kind, 0, kernelNames)
+}
+
+// AddTask appends a task and returns its ID.
+func (g *Graph) AddTask(kernel Kernel, name string) int {
+	if kernel < 0 || kernel >= NumKernels {
+		panic(fmt.Sprintf("taskgraph: kernel %d out of range", kernel))
+	}
+	id := len(g.Tasks)
+	g.Tasks = append(g.Tasks, Task{ID: id, Kernel: kernel, Name: name})
+	g.Succ = append(g.Succ, nil)
+	g.Pred = append(g.Pred, nil)
+	return id
+}
+
+// AddEdge records the dependency from → to (from must complete before to may
+// start). Duplicate edges are ignored; self-edges panic.
+func (g *Graph) AddEdge(from, to int) {
+	if from == to {
+		panic(fmt.Sprintf("taskgraph: self-edge on task %d", from))
+	}
+	if from < 0 || from >= len(g.Tasks) || to < 0 || to >= len(g.Tasks) {
+		panic(fmt.Sprintf("taskgraph: edge (%d,%d) out of range for %d tasks", from, to, len(g.Tasks)))
+	}
+	if g.edgeSet == nil {
+		g.edgeSet = make(map[[2]int]struct{})
+	}
+	key := [2]int{from, to}
+	if _, dup := g.edgeSet[key]; dup {
+		return
+	}
+	g.edgeSet[key] = struct{}{}
+	g.Succ[from] = append(g.Succ[from], to)
+	g.Pred[to] = append(g.Pred[to], from)
+}
+
+// NumTasks returns the number of vertices.
+func (g *Graph) NumTasks() int { return len(g.Tasks) }
+
+// NumEdges returns the number of dependency edges.
+func (g *Graph) NumEdges() int {
+	var n int
+	for _, s := range g.Succ {
+		n += len(s)
+	}
+	return n
+}
+
+// Roots returns the tasks with no predecessors, in ID order.
+func (g *Graph) Roots() []int {
+	var roots []int
+	for i := range g.Tasks {
+		if len(g.Pred[i]) == 0 {
+			roots = append(roots, i)
+		}
+	}
+	return roots
+}
+
+// Sinks returns the tasks with no successors, in ID order.
+func (g *Graph) Sinks() []int {
+	var sinks []int
+	for i := range g.Tasks {
+		if len(g.Succ[i]) == 0 {
+			sinks = append(sinks, i)
+		}
+	}
+	return sinks
+}
+
+// TopoOrder returns a topological ordering of the tasks, or an error if the
+// graph contains a cycle (Kahn's algorithm; ties broken by smallest ID for
+// determinism).
+func (g *Graph) TopoOrder() ([]int, error) {
+	n := g.NumTasks()
+	indeg := make([]int, n)
+	for i := range g.Pred {
+		indeg[i] = len(g.Pred[i])
+	}
+	// Min-ID frontier keeps the order deterministic.
+	frontier := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			frontier = append(frontier, i)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(frontier) > 0 {
+		sort.Ints(frontier)
+		next := frontier[0]
+		frontier = frontier[1:]
+		order = append(order, next)
+		for _, s := range g.Succ[next] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				frontier = append(frontier, s)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("taskgraph: graph has a cycle (%d of %d tasks ordered)", len(order), n)
+	}
+	return order, nil
+}
+
+// Validate checks structural soundness: edge endpoints in range, Succ/Pred
+// consistency, no duplicate edges, acyclicity.
+func (g *Graph) Validate() error {
+	n := g.NumTasks()
+	if len(g.Succ) != n || len(g.Pred) != n {
+		return fmt.Errorf("taskgraph: adjacency size mismatch")
+	}
+	seen := make(map[[2]int]struct{})
+	for i, succ := range g.Succ {
+		for _, j := range succ {
+			if j < 0 || j >= n {
+				return fmt.Errorf("taskgraph: successor %d of task %d out of range", j, i)
+			}
+			key := [2]int{i, j}
+			if _, dup := seen[key]; dup {
+				return fmt.Errorf("taskgraph: duplicate edge (%d,%d)", i, j)
+			}
+			seen[key] = struct{}{}
+			if !contains(g.Pred[j], i) {
+				return fmt.Errorf("taskgraph: edge (%d,%d) missing from Pred", i, j)
+			}
+		}
+	}
+	for j, pred := range g.Pred {
+		for _, i := range pred {
+			if !contains(g.Succ[i], j) {
+				return fmt.Errorf("taskgraph: pred edge (%d,%d) missing from Succ", i, j)
+			}
+		}
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// KernelCounts returns the number of tasks of each kernel type.
+func (g *Graph) KernelCounts() [NumKernels]int {
+	var c [NumKernels]int
+	for _, t := range g.Tasks {
+		c[t.Kernel]++
+	}
+	return c
+}
+
+// CriticalPathLength returns the length (in tasks) of the longest path.
+func (g *Graph) CriticalPathLength() int {
+	order, err := g.TopoOrder()
+	if err != nil {
+		panic(err)
+	}
+	depth := make([]int, g.NumTasks())
+	best := 0
+	for _, i := range order {
+		d := 1
+		for _, p := range g.Pred[i] {
+			if depth[p]+1 > d {
+				d = depth[p] + 1
+			}
+		}
+		depth[i] = d
+		if d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Descendants returns the set (as a sorted slice) of tasks reachable from id.
+func (g *Graph) Descendants(id int) []int {
+	seen := make(map[int]bool)
+	stack := append([]int(nil), g.Succ[id]...)
+	for len(stack) > 0 {
+		t := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		stack = append(stack, g.Succ[t]...)
+	}
+	out := make([]int, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

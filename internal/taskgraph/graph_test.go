@@ -1,0 +1,187 @@
+package taskgraph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddTaskAndEdge(t *testing.T) {
+	g := newGraph(Random, 0, [NumKernels]string{"a", "b", "c", "d"})
+	a := g.AddTask(0, "A")
+	b := g.AddTask(1, "B")
+	g.AddEdge(a, b)
+	g.AddEdge(a, b) // duplicate ignored
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1 (dup must be ignored)", g.NumEdges())
+	}
+	if len(g.Succ[a]) != 1 || g.Succ[a][0] != b || len(g.Pred[b]) != 1 || g.Pred[b][0] != a {
+		t.Fatal("adjacency wrong")
+	}
+}
+
+func TestSelfEdgePanics(t *testing.T) {
+	g := newGraph(Random, 0, [NumKernels]string{"a", "b", "c", "d"})
+	a := g.AddTask(0, "A")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("self edge should panic")
+		}
+	}()
+	g.AddEdge(a, a)
+}
+
+func TestTopoOrderRespectsEdges(t *testing.T) {
+	g := NewCholesky(5)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]int, g.NumTasks())
+	for p, id := range order {
+		pos[id] = p
+	}
+	for i, succ := range g.Succ {
+		for _, j := range succ {
+			if pos[i] >= pos[j] {
+				t.Fatalf("edge (%d,%d) violated by topo order", i, j)
+			}
+		}
+	}
+}
+
+func TestTopoOrderDetectsCycle(t *testing.T) {
+	g := newGraph(Random, 0, [NumKernels]string{"a", "b", "c", "d"})
+	a := g.AddTask(0, "A")
+	b := g.AddTask(0, "B")
+	c := g.AddTask(0, "C")
+	g.AddEdge(a, b)
+	g.AddEdge(b, c)
+	g.AddEdge(c, a)
+	if _, err := g.TopoOrder(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate must reject cycles")
+	}
+}
+
+func TestRootsAndSinks(t *testing.T) {
+	g := NewCholesky(4)
+	roots := g.Roots()
+	if len(roots) != 1 || g.Tasks[roots[0]].Name != "POTRF(0)" {
+		t.Fatalf("Cholesky root = %v", roots)
+	}
+	sinks := g.Sinks()
+	if len(sinks) != 1 || g.Tasks[sinks[0]].Name != "POTRF(3)" {
+		t.Fatalf("Cholesky sink = %v (names %v)", sinks, taskNames(g, sinks))
+	}
+}
+
+func TestCriticalPathCholesky(t *testing.T) {
+	// For the serialized-accumulation tiled Cholesky, the critical path is
+	// POTRF(0) TRSM(1,0) SYRK(1,0) POTRF(1) ... = 3(T-1)+1 tasks.
+	for T := 1; T <= 8; T++ {
+		g := NewCholesky(T)
+		want := 3*(T-1) + 1
+		if got := g.CriticalPathLength(); got != want {
+			t.Fatalf("T=%d critical path = %d, want %d", T, got, want)
+		}
+	}
+}
+
+func TestDescendants(t *testing.T) {
+	g := NewCholesky(3) // 10 tasks, root POTRF(0)
+	all := g.Descendants(0)
+	if len(all) != g.NumTasks()-1 {
+		t.Fatalf("root should reach all others, got %d of %d", len(all), g.NumTasks()-1)
+	}
+	sink := g.Sinks()[0]
+	if len(g.Descendants(sink)) != 0 {
+		t.Fatal("sink has no descendants")
+	}
+}
+
+func TestKernelCounts(t *testing.T) {
+	g := NewCholesky(6)
+	c := g.KernelCounts()
+	if c[KPOTRF] != 6 || c[KTRSM] != 15 || c[KSYRK] != 15 || c[KGEMM] != 20 {
+		t.Fatalf("Cholesky T=6 kernel counts = %v", c)
+	}
+}
+
+func TestKindStringRoundTrip(t *testing.T) {
+	for _, k := range []Kind{Cholesky, LU, QR, Random} {
+		got, err := KindFromString(k.String())
+		if err != nil || got != k {
+			t.Fatalf("round trip failed for %v: %v %v", k, got, err)
+		}
+	}
+	if _, err := KindFromString("nope"); err == nil {
+		t.Fatal("unknown kind should error")
+	}
+}
+
+func TestValidateAllFamilies(t *testing.T) {
+	for T := 1; T <= 10; T++ {
+		for _, g := range []*Graph{NewCholesky(T), NewLU(T), NewQR(T)} {
+			if err := g.Validate(); err != nil {
+				t.Fatalf("%v T=%d invalid: %v", g.Kind, T, err)
+			}
+		}
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := NewCholesky(2)
+	var sb strings.Builder
+	if err := WriteDOT(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"digraph cholesky", "POTRF(0)", "TRSM(1,0)", "->"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func taskNames(g *Graph, ids []int) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = g.Tasks[id].Name
+	}
+	return out
+}
+
+func TestRandomLayeredValidProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		cfg := RandomConfig{
+			Layers:       2 + r.Intn(8),
+			WidthMin:     1 + r.Intn(3),
+			WidthMax:     4 + r.Intn(5),
+			EdgeProb:     rng.Float64() * 0.6,
+			LongEdgeProb: rng.Float64() * 0.2,
+		}
+		g := NewLayeredRandom(r, cfg)
+		return g.Validate() == nil && g.NumTasks() > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomLayeredNonRootsHavePreds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := NewLayeredRandom(rng, DefaultRandomConfig())
+	// All roots must be in layer 0: every later-layer task has >= 1 pred.
+	roots := g.Roots()
+	for _, r := range roots {
+		if !strings.Contains(g.Tasks[r].Name, "_L0_") {
+			t.Fatalf("root %s not in layer 0", g.Tasks[r].Name)
+		}
+	}
+}

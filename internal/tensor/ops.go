@@ -1,0 +1,299 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the number of multiply-adds below which MatMul stays
+// single-threaded; spawning goroutines for tiny products costs more than the
+// product itself.
+const parallelThreshold = 64 * 64 * 64
+
+// MatMul returns a*b. It panics if the inner dimensions disagree.
+// Large products are split across row blocks and computed by a pool of
+// goroutines sized to GOMAXPROCS.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	work := a.Rows * a.Cols * b.Cols
+	if work < parallelThreshold || a.Rows < 2 {
+		matMulRange(a, b, out, 0, a.Rows)
+		return out
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > a.Rows {
+		workers = a.Rows
+	}
+	chunk := (a.Rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < a.Rows; lo += chunk {
+		hi := lo + chunk
+		if hi > a.Rows {
+			hi = a.Rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matMulRange(a, b, out, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// matMulRange computes rows [lo, hi) of out = a*b using an ikj loop order so
+// that the inner loop streams through contiguous rows of b and out.
+func matMulRange(a, b, out *Matrix, lo, hi int) {
+	n, p := a.Cols, b.Cols
+	for i := lo; i < hi; i++ {
+		arow := a.Data[i*n : (i+1)*n]
+		orow := out.Data[i*p : (i+1)*p]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*p : (k+1)*p]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransA returns aᵀ*b without materialising the transpose.
+func MatMulTransA(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTransA shape mismatch %dx%d ᵀ* %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Cols, b.Cols)
+	p := b.Cols
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Data[k*a.Cols : (k+1)*a.Cols]
+		brow := b.Data[k*p : (k+1)*p]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Data[i*p : (i+1)*p]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulTransB returns a*bᵀ without materialising the transpose.
+func MatMulTransB(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTransB shape mismatch %dx%d *ᵀ %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Rows)
+	n := a.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*n : (i+1)*n]
+		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Data[j*n : (j+1)*n]
+			var s float64
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// Add returns a+b elementwise.
+func Add(a, b *Matrix) *Matrix {
+	mustSameShape("Add", a, b)
+	out := New(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = v + b.Data[i]
+	}
+	return out
+}
+
+// Sub returns a-b elementwise.
+func Sub(a, b *Matrix) *Matrix {
+	mustSameShape("Sub", a, b)
+	out := New(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = v - b.Data[i]
+	}
+	return out
+}
+
+// Mul returns the elementwise (Hadamard) product a⊙b.
+func Mul(a, b *Matrix) *Matrix {
+	mustSameShape("Mul", a, b)
+	out := New(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = v * b.Data[i]
+	}
+	return out
+}
+
+// Scale returns s*a.
+func Scale(a *Matrix, s float64) *Matrix {
+	out := New(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = v * s
+	}
+	return out
+}
+
+// AddInPlace accumulates b into a.
+func AddInPlace(a, b *Matrix) {
+	mustSameShape("AddInPlace", a, b)
+	for i, v := range b.Data {
+		a.Data[i] += v
+	}
+}
+
+// AddScaledInPlace accumulates s*b into a.
+func AddScaledInPlace(a *Matrix, b *Matrix, s float64) {
+	mustSameShape("AddScaledInPlace", a, b)
+	for i, v := range b.Data {
+		a.Data[i] += s * v
+	}
+}
+
+// AddRowVector returns a matrix whose every row is the corresponding row of a
+// plus the 1 x Cols row vector v (bias broadcast).
+func AddRowVector(a, v *Matrix) *Matrix {
+	if v.Rows != 1 || v.Cols != a.Cols {
+		panic(fmt.Sprintf("tensor: AddRowVector wants 1x%d, got %dx%d", a.Cols, v.Rows, v.Cols))
+	}
+	out := New(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := out.Data[i*a.Cols : (i+1)*a.Cols]
+		for j, x := range arow {
+			orow[j] = x + v.Data[j]
+		}
+	}
+	return out
+}
+
+// Apply returns f applied elementwise to a.
+func Apply(a *Matrix, f func(float64) float64) *Matrix {
+	out := New(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = f(v)
+	}
+	return out
+}
+
+// Sum returns the sum of all entries.
+func Sum(a *Matrix) float64 {
+	var s float64
+	for _, v := range a.Data {
+		s += v
+	}
+	return s
+}
+
+// Dot returns the Frobenius inner product <a, b>.
+func Dot(a, b *Matrix) float64 {
+	mustSameShape("Dot", a, b)
+	var s float64
+	for i, v := range a.Data {
+		s += v * b.Data[i]
+	}
+	return s
+}
+
+// Norm returns the Frobenius norm of a.
+func Norm(a *Matrix) float64 {
+	return math.Sqrt(Dot(a, a))
+}
+
+// MeanRows returns the 1 x Cols row vector of column means.
+func MeanRows(a *Matrix) *Matrix {
+	out := New(1, a.Cols)
+	if a.Rows == 0 {
+		return out
+	}
+	for i := 0; i < a.Rows; i++ {
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		for j, v := range row {
+			out.Data[j] += v
+		}
+	}
+	inv := 1.0 / float64(a.Rows)
+	for j := range out.Data {
+		out.Data[j] *= inv
+	}
+	return out
+}
+
+// MaxRows returns the 1 x Cols row vector of column maxima and, for each
+// column, the row index attaining it (ties resolved to the smallest index).
+func MaxRows(a *Matrix) (*Matrix, []int) {
+	out := New(1, a.Cols)
+	arg := make([]int, a.Cols)
+	if a.Rows == 0 {
+		return out, arg
+	}
+	copy(out.Data, a.Data[:a.Cols])
+	for i := 1; i < a.Rows; i++ {
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		for j, v := range row {
+			if v > out.Data[j] {
+				out.Data[j] = v
+				arg[j] = i
+			}
+		}
+	}
+	return out, arg
+}
+
+// GatherRows returns the matrix whose i-th row is a's row idx[i].
+func GatherRows(a *Matrix, idx []int) *Matrix {
+	out := New(len(idx), a.Cols)
+	for i, r := range idx {
+		copy(out.Row(i), a.Row(r))
+	}
+	return out
+}
+
+// ConcatCols returns [a | b], the horizontal concatenation of a and b.
+func ConcatCols(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: ConcatCols row mismatch %d vs %d", a.Rows, b.Rows))
+	}
+	out := New(a.Rows, a.Cols+b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		copy(out.Data[i*out.Cols:], a.Row(i))
+		copy(out.Data[i*out.Cols+a.Cols:], b.Row(i))
+	}
+	return out
+}
+
+// ConcatRows returns the vertical concatenation of a above b.
+func ConcatRows(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols && a.Rows != 0 && b.Rows != 0 {
+		panic(fmt.Sprintf("tensor: ConcatRows col mismatch %d vs %d", a.Cols, b.Cols))
+	}
+	cols := a.Cols
+	if a.Rows == 0 {
+		cols = b.Cols
+	}
+	out := New(a.Rows+b.Rows, cols)
+	copy(out.Data, a.Data)
+	copy(out.Data[a.Rows*cols:], b.Data)
+	return out
+}
+
+func mustSameShape(op string, a, b *Matrix) {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}

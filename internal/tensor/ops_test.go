@@ -1,0 +1,229 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveMatMul is the reference implementation used to validate the optimised
+// and parallel paths.
+func naiveMatMul(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+func TestMatMulSmall(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	got := MatMul(a, b)
+	want := FromSlice(2, 2, []float64{58, 64, 139, 154})
+	if !got.Equal(want) {
+		t.Fatalf("MatMul = %v, want %v", got, want)
+	}
+}
+
+func TestMatMulMismatchPanics(t *testing.T) {
+	defer mustPanic(t, "MatMul mismatch")
+	MatMul(New(2, 3), New(2, 3))
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := RandNormal(rng, 7, 7, 1)
+	if !MatMul(m, Eye(7)).AllClose(m, 1e-12) || !MatMul(Eye(7), m).AllClose(m, 1e-12) {
+		t.Fatal("identity should be neutral")
+	}
+}
+
+func TestMatMulMatchesNaiveProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(m8, n8, p8 uint8) bool {
+		m, n, p := int(m8%12)+1, int(n8%12)+1, int(p8%12)+1
+		a := RandNormal(rng, m, n, 1)
+		b := RandNormal(rng, n, p, 1)
+		return MatMul(a, b).AllClose(naiveMatMul(a, b), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMulParallelPathMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// Sized to exceed parallelThreshold so the goroutine pool is exercised.
+	a := RandNormal(rng, 128, 80, 1)
+	b := RandNormal(rng, 80, 96, 1)
+	if !MatMul(a, b).AllClose(naiveMatMul(a, b), 1e-8) {
+		t.Fatal("parallel MatMul diverges from naive")
+	}
+}
+
+func TestMatMulTransA(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := RandNormal(rng, 9, 5, 1)
+	b := RandNormal(rng, 9, 7, 1)
+	if !MatMulTransA(a, b).AllClose(MatMul(a.T(), b), 1e-10) {
+		t.Fatal("MatMulTransA mismatch")
+	}
+}
+
+func TestMatMulTransB(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := RandNormal(rng, 6, 8, 1)
+	b := RandNormal(rng, 5, 8, 1)
+	if !MatMulTransB(a, b).AllClose(MatMul(a, b.T()), 1e-10) {
+		t.Fatal("MatMulTransB mismatch")
+	}
+}
+
+func TestMatMulAssociativityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed uint8) bool {
+		n := int(seed%6) + 2
+		a := RandNormal(rng, n, n, 0.5)
+		b := RandNormal(rng, n, n, 0.5)
+		c := RandNormal(rng, n, n, 0.5)
+		return MatMul(MatMul(a, b), c).AllClose(MatMul(a, MatMul(b, c)), 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	b := FromSlice(2, 2, []float64{5, 6, 7, 8})
+	if !Add(a, b).Equal(FromSlice(2, 2, []float64{6, 8, 10, 12})) {
+		t.Fatal("Add wrong")
+	}
+	if !Sub(b, a).Equal(FromSlice(2, 2, []float64{4, 4, 4, 4})) {
+		t.Fatal("Sub wrong")
+	}
+	if !Mul(a, b).Equal(FromSlice(2, 2, []float64{5, 12, 21, 32})) {
+		t.Fatal("Mul wrong")
+	}
+	if !Scale(a, 2).Equal(FromSlice(2, 2, []float64{2, 4, 6, 8})) {
+		t.Fatal("Scale wrong")
+	}
+}
+
+func TestAddInPlaceAndScaled(t *testing.T) {
+	a := FromSlice(1, 3, []float64{1, 1, 1})
+	AddInPlace(a, FromSlice(1, 3, []float64{1, 2, 3}))
+	if !a.Equal(FromSlice(1, 3, []float64{2, 3, 4})) {
+		t.Fatal("AddInPlace wrong")
+	}
+	AddScaledInPlace(a, FromSlice(1, 3, []float64{1, 1, 1}), -2)
+	if !a.Equal(FromSlice(1, 3, []float64{0, 1, 2})) {
+		t.Fatal("AddScaledInPlace wrong")
+	}
+}
+
+func TestAddRowVector(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	v := FromSlice(1, 3, []float64{10, 20, 30})
+	got := AddRowVector(a, v)
+	want := FromSlice(2, 3, []float64{11, 22, 33, 14, 25, 36})
+	if !got.Equal(want) {
+		t.Fatalf("AddRowVector = %v", got)
+	}
+}
+
+func TestApplySumDotNorm(t *testing.T) {
+	a := FromSlice(1, 4, []float64{-1, 2, -3, 4})
+	abs := Apply(a, math.Abs)
+	if Sum(abs) != 10 {
+		t.Fatalf("Sum(|a|) = %v", Sum(abs))
+	}
+	if Dot(a, a) != 30 {
+		t.Fatalf("Dot = %v", Dot(a, a))
+	}
+	if math.Abs(Norm(a)-math.Sqrt(30)) > 1e-12 {
+		t.Fatalf("Norm = %v", Norm(a))
+	}
+}
+
+func TestMeanRows(t *testing.T) {
+	a := FromSlice(2, 2, []float64{1, 3, 3, 5})
+	if !MeanRows(a).Equal(FromSlice(1, 2, []float64{2, 4})) {
+		t.Fatal("MeanRows wrong")
+	}
+	empty := MeanRows(New(0, 3))
+	if empty.Rows != 1 || empty.Cols != 3 || Sum(empty) != 0 {
+		t.Fatal("MeanRows of empty should be zeros")
+	}
+}
+
+func TestMaxRows(t *testing.T) {
+	a := FromSlice(3, 2, []float64{1, 9, 7, 2, 7, 5})
+	m, arg := MaxRows(a)
+	if !m.Equal(FromSlice(1, 2, []float64{7, 9})) {
+		t.Fatalf("MaxRows values = %v", m)
+	}
+	if arg[0] != 1 || arg[1] != 0 {
+		t.Fatalf("MaxRows argmax = %v (ties must pick smallest row)", arg)
+	}
+}
+
+func TestGatherRows(t *testing.T) {
+	a := FromSlice(3, 2, []float64{1, 2, 3, 4, 5, 6})
+	g := GatherRows(a, []int{2, 0, 2})
+	want := FromSlice(3, 2, []float64{5, 6, 1, 2, 5, 6})
+	if !g.Equal(want) {
+		t.Fatalf("GatherRows = %v", g)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := FromSlice(2, 1, []float64{1, 2})
+	b := FromSlice(2, 2, []float64{3, 4, 5, 6})
+	h := ConcatCols(a, b)
+	if !h.Equal(FromSlice(2, 3, []float64{1, 3, 4, 2, 5, 6})) {
+		t.Fatalf("ConcatCols = %v", h)
+	}
+	v := ConcatRows(FromSlice(1, 2, []float64{1, 2}), FromSlice(2, 2, []float64{3, 4, 5, 6}))
+	if !v.Equal(FromSlice(3, 2, []float64{1, 2, 3, 4, 5, 6})) {
+		t.Fatalf("ConcatRows = %v", v)
+	}
+	e := ConcatRows(New(0, 0), FromSlice(1, 2, []float64{7, 8}))
+	if !e.Equal(FromSlice(1, 2, []float64{7, 8})) {
+		t.Fatalf("ConcatRows with empty = %v", e)
+	}
+}
+
+func TestDistributivityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	f := func(seed uint8) bool {
+		n := int(seed%5) + 2
+		a := RandNormal(rng, n, n, 1)
+		b := RandNormal(rng, n, n, 1)
+		c := RandNormal(rng, n, n, 1)
+		left := MatMul(a, Add(b, c))
+		right := Add(MatMul(a, b), MatMul(a, c))
+		return left.AllClose(right, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMatMul128(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	x := RandNormal(rng, 128, 128, 1)
+	y := RandNormal(rng, 128, 128, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, y)
+	}
+}

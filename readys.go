@@ -1,0 +1,134 @@
+// Package readys is a from-scratch Go reproduction of
+//
+//	READYS: A Reinforcement Learning Based Strategy for Heterogeneous
+//	Dynamic Scheduling — Grinsztajn, Beaumont, Jeannot, Preux,
+//	IEEE CLUSTER 2021.
+//
+// READYS schedules Directed Acyclic Graphs of tasks onto heterogeneous
+// CPU/GPU platforms dynamically: every time a resource becomes free, a graph
+// convolutional network scores the ready tasks (plus an explicit "stay idle"
+// action) from a sliding window over the DAG, and an actor-critic (A2C)
+// training loop learns a policy minimising the makespan. This package is the
+// public facade over the implementation in internal/…:
+//
+//   - task graphs: tiled Cholesky/LU/QR factorisation DAGs and custom DAGs
+//     (internal/taskgraph)
+//   - heterogeneous platform and stochastic duration model (internal/platform)
+//   - discrete-event scheduling simulator (internal/sim)
+//   - HEFT and MCT baselines (internal/sched)
+//   - the READYS agent and encoder (internal/core), A2C trainer (internal/rl)
+//   - the experiment harness regenerating the paper's figures (internal/exp)
+//
+// A minimal session:
+//
+//	prob := readys.NewProblem(readys.Cholesky, 4, 2, 2, 0.1)
+//	agent := readys.NewAgent(readys.DefaultAgentConfig())
+//	hist, _ := readys.Train(agent, prob, readys.DefaultTrainConfig())
+//	makespans, _ := readys.Evaluate(agent, prob, 5, 42)
+package readys
+
+import (
+	"math/rand"
+
+	"readys/internal/core"
+	"readys/internal/platform"
+	"readys/internal/rl"
+	"readys/internal/sched"
+	"readys/internal/sim"
+	"readys/internal/taskgraph"
+)
+
+// DAG families.
+const (
+	Cholesky = taskgraph.Cholesky
+	LU       = taskgraph.LU
+	QR       = taskgraph.QR
+)
+
+// Re-exported core types. See the internal packages for full documentation.
+type (
+	// Kind selects a DAG family (Cholesky, LU, QR).
+	Kind = taskgraph.Kind
+	// Graph is a directed acyclic task graph.
+	Graph = taskgraph.Graph
+	// Problem bundles a DAG, a platform, timing tables and a noise level.
+	Problem = core.Problem
+	// Agent is the READYS policy/value network.
+	Agent = core.Agent
+	// AgentConfig holds the agent's architecture hyper-parameters.
+	AgentConfig = core.Config
+	// TrainConfig holds the A2C hyper-parameters.
+	TrainConfig = rl.Config
+	// TrainHistory is the per-episode training curve.
+	TrainHistory = rl.History
+	// Platform is an ordered set of CPU/GPU resources.
+	Platform = platform.Platform
+	// Result is a simulated schedule (makespan + trace).
+	Result = sim.Result
+)
+
+// NewGraph builds the task graph of a factorisation family with T tiles per
+// matrix dimension.
+func NewGraph(kind Kind, T int) *Graph { return taskgraph.NewByKind(kind, T) }
+
+// NewPlatform builds a platform with the given number of CPUs and GPUs.
+func NewPlatform(numCPU, numGPU int) Platform { return platform.New(numCPU, numGPU) }
+
+// NewProblem builds a scheduling problem: a factorisation DAG on a platform
+// with the given duration-noise level σ (§V-B of the paper).
+func NewProblem(kind Kind, T, numCPU, numGPU int, sigma float64) Problem {
+	return core.NewProblem(kind, T, numCPU, numGPU, sigma)
+}
+
+// DefaultAgentConfig returns the paper's best-performing architecture
+// (window w=2, two GCN layers).
+func DefaultAgentConfig() AgentConfig { return core.DefaultConfig() }
+
+// NewAgent builds a READYS agent with freshly initialised parameters.
+func NewAgent(cfg AgentConfig) *Agent { return core.NewAgent(cfg) }
+
+// DefaultTrainConfig returns the A2C hyper-parameters used by the experiment
+// harness.
+func DefaultTrainConfig() TrainConfig { return rl.DefaultConfig() }
+
+// Train runs A2C on the problem and returns the training history.
+func Train(agent *Agent, prob Problem, cfg TrainConfig) (TrainHistory, error) {
+	return rl.NewTrainer(agent, prob, cfg).Run(nil)
+}
+
+// Evaluate runs the trained agent greedily for `runs` episodes and returns
+// the achieved makespans.
+func Evaluate(agent *Agent, prob Problem, runs int, seed int64) ([]float64, error) {
+	return rl.Evaluate(agent, prob, runs, seed)
+}
+
+// Schedule executes one episode of the agent on the problem and returns the
+// full schedule (placements and makespan).
+func Schedule(agent *Agent, prob Problem, seed int64) (Result, error) {
+	return prob.Simulate(core.NewPolicy(agent), rand.New(rand.NewSource(seed)))
+}
+
+// HEFTMakespan returns the projected makespan of the static HEFT heuristic on
+// the problem under expected durations.
+func HEFTMakespan(prob Problem) float64 {
+	return sched.HEFT(prob.Graph, prob.Platform, prob.Timing).Makespan
+}
+
+// MCTMakespan simulates the dynamic MCT heuristic on the problem and returns
+// its makespan.
+func MCTMakespan(prob Problem, seed int64) (float64, error) {
+	res, err := prob.Simulate(sched.MCTPolicy{}, rand.New(rand.NewSource(seed)))
+	return res.Makespan, err
+}
+
+// SaveAgent writes the agent's parameters (plus metadata) to path; LoadAgent
+// restores them into an agent with the same architecture — the mechanism
+// behind the paper's transfer-learning experiments.
+func SaveAgent(agent *Agent, path string, meta map[string]string) error {
+	return agent.SaveCheckpoint(path, meta)
+}
+
+// LoadAgent restores parameters saved by SaveAgent.
+func LoadAgent(agent *Agent, path string) (map[string]string, error) {
+	return agent.LoadCheckpoint(path)
+}

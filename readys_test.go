@@ -1,0 +1,87 @@
+package readys_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"readys"
+)
+
+// TestPublicAPIEndToEnd drives the facade exactly as the README quickstart
+// does: build a problem, train briefly, evaluate, compare with baselines,
+// save and restore.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	prob := readys.NewProblem(readys.Cholesky, 3, 1, 1, 0.1)
+	if prob.Graph.NumTasks() != 10 {
+		t.Fatalf("T=3 Cholesky should have 10 tasks, got %d", prob.Graph.NumTasks())
+	}
+
+	cfg := readys.DefaultAgentConfig()
+	cfg.Hidden = 8
+	cfg.Layers = 1
+	agent := readys.NewAgent(cfg)
+
+	tcfg := readys.DefaultTrainConfig()
+	tcfg.Episodes = 10
+	hist, err := readys.Train(agent, prob, tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.Episodes) != 10 {
+		t.Fatalf("history has %d episodes", len(hist.Episodes))
+	}
+
+	ms, err := readys.Evaluate(agent, prob, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 || ms[0] <= 0 {
+		t.Fatalf("evaluate returned %v", ms)
+	}
+
+	if h := readys.HEFTMakespan(prob); h <= 0 {
+		t.Fatalf("HEFT makespan %v", h)
+	}
+	if m, err := readys.MCTMakespan(prob, 1); err != nil || m <= 0 {
+		t.Fatalf("MCT makespan %v err %v", m, err)
+	}
+
+	res, err := readys.Schedule(agent, prob, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != prob.Graph.NumTasks() {
+		t.Fatalf("schedule has %d placements", len(res.Trace))
+	}
+
+	path := filepath.Join(t.TempDir(), "agent.json")
+	if err := readys.SaveAgent(agent, path, map[string]string{"demo": "1"}); err != nil {
+		t.Fatal(err)
+	}
+	restored := readys.NewAgent(cfg)
+	meta, err := readys.LoadAgent(restored, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta["demo"] != "1" {
+		t.Fatalf("meta %v", meta)
+	}
+	// Transfer to a larger size must work out of the box.
+	big := readys.NewProblem(readys.Cholesky, 6, 1, 1, 0.1)
+	if _, err := readys.Schedule(restored, big, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicGraphConstructors(t *testing.T) {
+	for _, kind := range []readys.Kind{readys.Cholesky, readys.LU, readys.QR} {
+		g := readys.NewGraph(kind, 4)
+		if g.NumTasks() == 0 || g.Validate() != nil {
+			t.Fatalf("%v graph invalid", kind)
+		}
+	}
+	p := readys.NewPlatform(2, 2)
+	if p.Size() != 4 {
+		t.Fatal("platform size")
+	}
+}
