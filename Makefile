@@ -1,0 +1,32 @@
+# Pre-merge checks for the READYS reproduction.
+#
+#   make check     — everything a PR must pass: build, vet, tests, race tests
+#   make race      — just the race-detector runs (serving + agent core)
+#   make bench     — serving-throughput benchmark
+#   make serve     — run the scheduling daemon against ./models
+
+GO ?= go
+
+.PHONY: check build vet test race bench serve
+
+check: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Concurrency-sensitive packages run under the race detector: internal/serve
+# (registry, pool, handlers) and internal/core (shared-agent inference).
+race:
+	$(GO) test -race ./internal/serve/... ./internal/core/...
+
+bench:
+	$(GO) test -bench BenchmarkServeScheduleThroughput -benchtime 2s -run '^$$' ./internal/serve/
+
+serve:
+	$(GO) run ./cmd/readys-serve -addr :8080 -models models

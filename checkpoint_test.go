@@ -1,0 +1,137 @@
+package readys_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"readys"
+)
+
+func testAgent(t *testing.T, hidden, layers int) *readys.Agent {
+	t.Helper()
+	cfg := readys.DefaultAgentConfig()
+	cfg.Hidden = hidden
+	cfg.Layers = layers
+	return readys.NewAgent(cfg)
+}
+
+// TestCheckpointRoundTrip saves an agent with metadata and restores it into a
+// matching architecture: the restored agent must reproduce the original's
+// schedules exactly, and the metadata must survive alongside the
+// architecture keys SaveAgent adds.
+func TestCheckpointRoundTrip(t *testing.T) {
+	agent := testAgent(t, 8, 1)
+	prob, err := readys.NewProblem(readys.Cholesky, 3, 1, 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := readys.Schedule(agent, prob, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "agent.json")
+	meta := map[string]string{"source": "round-trip test", "episodes": "0"}
+	if err := readys.SaveAgent(agent, path, meta); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := testAgent(t, 8, 1)
+	got, err := readys.LoadAgent(restored, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range meta {
+		if got[k] != v {
+			t.Errorf("meta[%q] = %q, want %q", k, got[k], v)
+		}
+	}
+	// SaveAgent records the architecture so checkpoints are self-describing.
+	if got["hidden"] != "8" || got["layers"] != "1" {
+		t.Errorf("architecture meta missing: %v", got)
+	}
+
+	res, err := readys.Schedule(restored, prob, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != want.Makespan {
+		t.Fatalf("restored agent schedules differently: %g vs %g", res.Makespan, want.Makespan)
+	}
+}
+
+// TestCheckpointMismatchedConfig loads a checkpoint into agents whose
+// architecture differs in width and in depth: both must fail cleanly, naming
+// the offending parameter.
+func TestCheckpointMismatchedConfig(t *testing.T) {
+	agent := testAgent(t, 8, 1)
+	path := filepath.Join(t.TempDir(), "agent.json")
+	if err := readys.SaveAgent(agent, path, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := readys.LoadAgent(testAgent(t, 16, 1), path); err == nil {
+		t.Fatal("hidden-width mismatch must fail")
+	} else if !strings.Contains(err.Error(), "shape mismatch") {
+		t.Fatalf("want a shape-mismatch error, got: %v", err)
+	}
+	// Deeper net: the extra GCN layer's parameters are missing entirely.
+	if _, err := readys.LoadAgent(testAgent(t, 8, 2), path); err == nil {
+		t.Fatal("layer-count mismatch must fail")
+	} else if !strings.Contains(err.Error(), "missing parameter") {
+		t.Fatalf("want a missing-parameter error, got: %v", err)
+	}
+}
+
+// TestCheckpointCorruptFiles feeds truncated and malformed checkpoint files
+// to LoadAgent: every case must return an error (never panic) and leave the
+// target agent usable.
+func TestCheckpointCorruptFiles(t *testing.T) {
+	dir := t.TempDir()
+	agent := testAgent(t, 8, 1)
+	good := filepath.Join(dir, "good.json")
+	if err := readys.SaveAgent(agent, good, nil); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	write := func(name string, data []byte) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := map[string]string{
+		"missing":       filepath.Join(dir, "does-not-exist.json"),
+		"empty":         write("empty.json", nil),
+		"truncated":     write("truncated.json", raw[:len(raw)/2]),
+		"not json":      write("garbage.json", []byte("not a checkpoint")),
+		"wrong version": write("version.json", []byte(`{"version":99,"params":[]}`)),
+		"no params":     write("noparams.json", []byte(`{"version":1,"params":[]}`)),
+		"short data": write("shortdata.json",
+			[]byte(`{"version":1,"params":[{"name":"input.W","rows":9,"cols":8,"data":[1,2]}]}`)),
+	}
+	for name, path := range cases {
+		t.Run(name, func(t *testing.T) {
+			target := testAgent(t, 8, 1)
+			if _, err := readys.LoadAgent(target, path); err == nil {
+				t.Fatalf("loading %s succeeded, want an error", path)
+			}
+			// The failed load must not have wedged the agent.
+			prob, err := readys.NewProblem(readys.Cholesky, 2, 1, 1, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := readys.Schedule(target, prob, 1); err != nil {
+				t.Fatalf("agent unusable after failed load: %v", err)
+			}
+		})
+	}
+}

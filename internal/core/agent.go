@@ -79,6 +79,18 @@ func NewAgent(cfg Config) *Agent {
 // checkpointing).
 func (a *Agent) Params() *nn.ParamSet { return a.params }
 
+// Clone returns a new agent with the same architecture and a deep copy of the
+// parameter values. The clone shares nothing mutable with the receiver, so
+// clone and original can train or infer concurrently without coordination.
+func (a *Agent) Clone() *Agent {
+	c := NewAgent(a.Cfg)
+	if err := c.params.CopyValuesFrom(a.params); err != nil {
+		// Same Cfg always produces an identical parameter layout.
+		panic(fmt.Sprintf("core: cloning agent: %v", err))
+	}
+	return c
+}
+
 // Forward is the result of one policy/value evaluation: everything the A2C
 // trainer needs to build its loss on the decision's tape.
 type Forward struct {
@@ -97,6 +109,15 @@ type Forward struct {
 // Forward evaluates the network on an encoded state. The caller chooses an
 // action from LogProbs (Sample or Argmax) and maps it back through
 // EncodedState.ReadyTasks.
+//
+// Concurrency: Forward only READS the agent's parameters. All intermediate
+// state lives on a fresh per-call Binding/Tape, and gradients reach the
+// shared parameters only when a trainer explicitly calls Tape.Backward
+// followed by Binding.Flush. Any number of goroutines may therefore call
+// Forward on the same agent concurrently, as long as no goroutine is
+// mutating the parameters (training, LoadCheckpoint, InitSeed) at the same
+// time. internal/serve relies on this contract; TestConcurrentInference
+// enforces it under the race detector.
 func (a *Agent) Forward(es *EncodedState) *Forward {
 	if len(es.ReadyRows) == 0 {
 		panic("core: Forward with no ready task")

@@ -15,6 +15,8 @@
 package core
 
 import (
+	"errors"
+	"fmt"
 	"math/rand"
 
 	"readys/internal/platform"
@@ -64,4 +66,27 @@ func Reward(heftMakespan, makespan float64) float64 {
 // Simulate runs the problem under an arbitrary policy with the given RNG.
 func (p Problem) Simulate(pol sim.Policy, rng *rand.Rand) (sim.Result, error) {
 	return sim.Simulate(p.Graph, p.Platform, p.Timing, pol, sim.Options{Sigma: p.Sigma, Rng: rng})
+}
+
+// Validate checks that the problem is well-formed: a non-empty acyclic graph,
+// at least one resource, and a non-negative noise level. Zero-valued or
+// hand-assembled Problems pass through here before any simulation touches
+// them, so callers get an error instead of a panic deep inside the engine.
+func (p Problem) Validate() error {
+	if p.Graph == nil {
+		return errors.New("core: problem has no task graph")
+	}
+	if p.Graph.NumTasks() == 0 {
+		return errors.New("core: problem graph has no tasks")
+	}
+	if err := p.Graph.Validate(); err != nil {
+		return fmt.Errorf("core: problem graph invalid: %w", err)
+	}
+	if p.Platform.Size() < 1 {
+		return errors.New("core: problem platform has no resources")
+	}
+	if p.Sigma < 0 {
+		return fmt.Errorf("core: negative duration noise sigma %g", p.Sigma)
+	}
+	return nil
 }

@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"readys/internal/taskgraph"
+)
+
+// BenchmarkServeScheduleThroughput measures requests/sec through the full
+// handler path — JSON decode, registry cache hit, pool dispatch, rollout,
+// baseline references, JSON encode — at 1, 4 and 16 concurrent clients.
+// The model is warmed before timing so every iteration is a cache hit.
+func BenchmarkServeScheduleThroughput(b *testing.B) {
+	dir := b.TempDir()
+	writeTestModel(b, dir, testSpec(taskgraph.Cholesky, 4, 1, 1))
+	s := New(Config{ModelsDir: dir, Workers: 16, Queue: 1024, RequestTimeout: time.Minute})
+	h := s.Handler()
+
+	body, err := json.Marshal(ScheduleRequest{Kind: "cholesky", T: 4, CPUs: 1, GPUs: 1, Sigma: 0.1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm := httptest.NewRecorder()
+	h.ServeHTTP(warm, httptest.NewRequest(http.MethodPost, "/v1/schedule", bytes.NewReader(body)))
+	if warm.Code != http.StatusOK {
+		b.Fatalf("warm-up -> %d: %s", warm.Code, warm.Body.String())
+	}
+
+	for _, clients := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			var failures atomic.Uint64
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			start := time.Now()
+			b.ResetTimer()
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for next.Add(1) <= int64(b.N) {
+						rec := httptest.NewRecorder()
+						h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/schedule", bytes.NewReader(body)))
+						if rec.Code != http.StatusOK {
+							failures.Add(1)
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			if f := failures.Load(); f > 0 {
+				b.Fatalf("%d of %d requests failed", f, b.N)
+			}
+			if el := time.Since(start).Seconds(); el > 0 {
+				b.ReportMetric(float64(b.N)/el, "req/s")
+			}
+		})
+	}
+}

@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBucketsMS are the upper bounds (in milliseconds) of the latency
+// histogram buckets, chosen around the observed cost of one warm rollout
+// (sub-millisecond model access, tens of ms of simulation on larger DAGs).
+var latencyBucketsMS = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+// histogram is a fixed-bucket latency histogram. Cheap enough to sit on the
+// request path: one mutex-guarded slot increment per observation.
+type histogram struct {
+	mu     sync.Mutex
+	counts []uint64 // len(latencyBucketsMS)+1, last bucket is +Inf
+	sum    float64
+	n      uint64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]uint64, len(latencyBucketsMS)+1)}
+}
+
+func (h *histogram) observe(ms float64) {
+	i := sort.SearchFloat64s(latencyBucketsMS, ms)
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += ms
+	h.n++
+	h.mu.Unlock()
+}
+
+// snapshot returns the histogram as a JSON-friendly map: cumulative bucket
+// counts keyed by "le_<bound>", plus count/sum/mean.
+func (h *histogram) snapshot() map[string]any {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	buckets := make(map[string]uint64, len(h.counts))
+	var cum uint64
+	for i, bound := range latencyBucketsMS {
+		cum += h.counts[i]
+		buckets[leLabel(bound)] = cum
+	}
+	cum += h.counts[len(latencyBucketsMS)]
+	buckets["le_inf"] = cum
+	out := map[string]any{
+		"count":      h.n,
+		"sum_ms":     h.sum,
+		"buckets_ms": buckets,
+	}
+	if h.n > 0 {
+		out["mean_ms"] = h.sum / float64(h.n)
+	}
+	return out
+}
+
+func leLabel(bound float64) string {
+	// Bounds are integral milliseconds; print without a decimal point.
+	return "le_" + itoa(int64(bound))
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// endpointStats tracks one endpoint's traffic.
+type endpointStats struct {
+	requests atomic.Uint64
+	errors   atomic.Uint64
+	latency  *histogram
+}
+
+// Metrics is the service's expvar-style counter set, served as JSON on
+// GET /metrics. All methods are safe for concurrent use.
+type Metrics struct {
+	start time.Time
+
+	mu        sync.Mutex
+	endpoints map[string]*endpointStats
+
+	inflight  atomic.Int64
+	rejected  atomic.Uint64 // 503s from a full queue
+	timeouts  atomic.Uint64 // requests that hit the server-side deadline
+	scheduled atomic.Uint64 // successfully answered schedule requests
+}
+
+// NewMetrics returns an empty metric set anchored at now.
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now(), endpoints: make(map[string]*endpointStats)}
+}
+
+func (m *Metrics) endpoint(name string) *endpointStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	es, ok := m.endpoints[name]
+	if !ok {
+		es = &endpointStats{latency: newHistogram()}
+		m.endpoints[name] = es
+	}
+	return es
+}
+
+// Observe records one finished request against an endpoint.
+func (m *Metrics) Observe(endpoint string, d time.Duration, isError bool) {
+	es := m.endpoint(endpoint)
+	es.requests.Add(1)
+	if isError {
+		es.errors.Add(1)
+	}
+	es.latency.observe(float64(d) / float64(time.Millisecond))
+}
+
+// IncInflight / DecInflight track requests currently being handled.
+func (m *Metrics) IncInflight() { m.inflight.Add(1) }
+func (m *Metrics) DecInflight() { m.inflight.Add(-1) }
+
+// Rejected counts a backpressure rejection (full queue).
+func (m *Metrics) Rejected() { m.rejected.Add(1) }
+
+// Timeout counts a request that exceeded the server-side deadline.
+func (m *Metrics) Timeout() { m.timeouts.Add(1) }
+
+// Scheduled counts a successfully served schedule request.
+func (m *Metrics) Scheduled() { m.scheduled.Add(1) }
+
+// Snapshot renders every counter as a JSON-encodable tree. The registry and
+// pool gauges are passed in by the server so Metrics stays free of
+// dependencies on the other components.
+func (m *Metrics) Snapshot(registry *Registry, pool *Pool) map[string]any {
+	out := map[string]any{
+		"uptime_seconds":     time.Since(m.start).Seconds(),
+		"inflight":           m.inflight.Load(),
+		"rejected_busy":      m.rejected.Load(),
+		"request_timeouts":   m.timeouts.Load(),
+		"schedules_answered": m.scheduled.Load(),
+	}
+
+	m.mu.Lock()
+	names := make([]string, 0, len(m.endpoints))
+	for name := range m.endpoints {
+		names = append(names, name)
+	}
+	m.mu.Unlock()
+	sort.Strings(names)
+	eps := make(map[string]any, len(names))
+	for _, name := range names {
+		es := m.endpoint(name)
+		eps[name] = map[string]any{
+			"requests": es.requests.Load(),
+			"errors":   es.errors.Load(),
+			"latency":  es.latency.snapshot(),
+		}
+	}
+	out["endpoints"] = eps
+
+	if registry != nil {
+		resident, hits, misses, evicted := registry.Stats()
+		var hitRate float64
+		if hits+misses > 0 {
+			hitRate = float64(hits) / float64(hits+misses)
+		}
+		out["model_cache"] = map[string]any{
+			"resident": resident,
+			"hits":     hits,
+			"misses":   misses,
+			"evicted":  evicted,
+			"hit_rate": hitRate,
+		}
+	}
+	if pool != nil {
+		out["pool"] = map[string]any{
+			"queued":  pool.Queued(),
+			"running": pool.Running(),
+		}
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsJobs(t *testing.T) {
+	p := NewPool(4, 8)
+	defer p.Shutdown(context.Background())
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				err := p.Do(context.Background(), func() { n.Add(1) })
+				if err == nil {
+					return
+				}
+				if !errors.Is(err, ErrBusy) {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := n.Load(); got != 32 {
+		t.Fatalf("ran %d jobs, want 32", got)
+	}
+}
+
+func TestPoolBackpressure(t *testing.T) {
+	p := NewPool(1, 1)
+	defer p.Shutdown(context.Background())
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go p.Do(context.Background(), func() { close(started); <-block })
+	<-started // worker busy
+	// Fill the one queue slot and wait until it is occupied...
+	go p.Do(context.Background(), func() {})
+	for deadline := time.Now().Add(5 * time.Second); p.Queued() < 1; {
+		if time.Now().After(deadline) {
+			t.Fatal("queue slot never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// ...then a submission must fail fast with ErrBusy.
+	if err := p.Do(context.Background(), func() {}); !errors.Is(err, ErrBusy) {
+		t.Fatalf("full queue: err = %v, want ErrBusy", err)
+	}
+	close(block)
+}
+
+func TestPoolRequestTimeout(t *testing.T) {
+	p := NewPool(1, 4)
+	defer p.Shutdown(context.Background())
+	release := make(chan struct{})
+	defer close(release)
+	started := make(chan struct{})
+	go p.Do(context.Background(), func() { close(started); <-release })
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	err := p.Do(ctx, func() {})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestPoolShutdownDrains(t *testing.T) {
+	p := NewPool(2, 16)
+	var n atomic.Int64
+	const jobs = 10
+	gate := make(chan struct{})
+	for i := 0; i < jobs; i++ {
+		go func() {
+			// Detached submitter: Do blocks until the job runs, which is
+			// after Shutdown starts draining.
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			p.Do(ctx, func() { <-gate; n.Add(1) })
+		}()
+	}
+	// The queue is larger than the job count, so every submission lands.
+	for deadline := time.Now().Add(5 * time.Second); p.Queued()+p.Running() < jobs; {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d jobs accepted", p.Queued()+p.Running(), jobs)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		done <- p.Shutdown(ctx)
+	}()
+	close(gate)
+	if err := <-done; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if got := n.Load(); got != jobs {
+		t.Fatalf("drained %d of %d accepted jobs", got, jobs)
+	}
+	if err := p.Do(context.Background(), func() {}); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("post-shutdown submit: %v, want ErrShuttingDown", err)
+	}
+}
+
+func TestPoolShutdownTimeout(t *testing.T) {
+	p := NewPool(1, 1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go p.Do(context.Background(), func() { close(started); <-release })
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := p.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("shutdown with a stuck worker: %v, want DeadlineExceeded", err)
+	}
+	close(release)
+	if err := p.Shutdown(context.Background()); err != nil {
+		t.Fatalf("second shutdown after release: %v", err)
+	}
+}

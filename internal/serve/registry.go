@@ -1,0 +1,284 @@
+package serve
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"sync"
+
+	"readys/internal/core"
+	"readys/internal/exp"
+	"readys/internal/taskgraph"
+)
+
+// errModelNotFound marks Acquire failures caused by a missing checkpoint
+// file (mapped to 404 by the HTTP layer).
+var errModelNotFound = errors.New("model not found")
+
+// modelNameRE matches the canonical checkpoint naming convention produced by
+// exp.AgentSpec.Name: readys_<kind>_T<T>_<c>c<g>g_w<w>_l<l>_h<h>.json.
+var modelNameRE = regexp.MustCompile(`^readys_([a-z]+)_T(\d+)_(\d+)c(\d+)g_w(\d+)_l(\d+)_h(\d+)\.json$`)
+
+// ParseModelName decodes a checkpoint file name into its AgentSpec, or
+// reports ok=false when the name does not follow the convention.
+func ParseModelName(base string) (exp.AgentSpec, bool) {
+	m := modelNameRE.FindStringSubmatch(base)
+	if m == nil {
+		return exp.AgentSpec{}, false
+	}
+	kind, err := taskgraph.KindFromString(m[1])
+	if err != nil {
+		return exp.AgentSpec{}, false
+	}
+	atoi := func(s string) int { n, _ := strconv.Atoi(s); return n }
+	spec := exp.DefaultAgentSpec(kind, atoi(m[2]), atoi(m[3]), atoi(m[4]))
+	spec.Window, spec.Layers, spec.Hidden = atoi(m[5]), atoi(m[6]), atoi(m[7])
+	return spec, true
+}
+
+// Registry lazily loads agents from a checkpoint directory and LRU-caches
+// them keyed by their canonical model name. Each resident model keeps one
+// master agent (the loaded parameters) plus a free list of clones; Acquire
+// hands every caller its own clone, so concurrent requests never share a
+// mutable agent even accidentally, and Release returns it for reuse.
+type Registry struct {
+	dir string
+	// maxModels bounds the number of resident checkpoints (LRU eviction).
+	maxModels int
+	// maxIdleClones bounds each model's free list; clones beyond it are
+	// dropped on Release and rebuilt on demand.
+	maxIdleClones int
+
+	mu      sync.Mutex
+	byName  map[string]*list.Element // -> *model, element of lru
+	lru     *list.List               // front = most recently used
+	hits    uint64
+	misses  uint64
+	evicted uint64
+}
+
+// model is one resident checkpoint.
+type model struct {
+	// key is the (kind, T, platform) cache key; name is the full canonical
+	// checkpoint name including the architecture suffix.
+	key    string
+	name   string
+	spec   exp.AgentSpec
+	meta   map[string]string
+	master *core.Agent
+	free   []*core.Agent // idle clones, capped at maxIdleClones
+	live   bool          // false once evicted: stale releases are dropped
+}
+
+// Lease is one acquired agent instance. The agent is exclusively the
+// lease-holder's until Release.
+type Lease struct {
+	registry *Registry
+	model    *model
+	agent    *core.Agent
+}
+
+// Agent returns the leased inference instance.
+func (l *Lease) Agent() *core.Agent { return l.agent }
+
+// ModelName returns the canonical name of the model backing the lease.
+func (l *Lease) ModelName() string { return l.model.name }
+
+// Meta returns the checkpoint metadata of the model backing the lease.
+func (l *Lease) Meta() map[string]string { return l.model.meta }
+
+// Release returns the leased clone to the model's free list (or drops it if
+// the model was evicted or the list is full). The lease must not be used
+// afterwards.
+func (l *Lease) Release() {
+	if l.agent == nil {
+		return
+	}
+	r, m, a := l.registry, l.model, l.agent
+	l.agent = nil
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m.live && len(m.free) < r.maxIdleClones {
+		m.free = append(m.free, a)
+	}
+}
+
+// NewRegistry builds a registry over dir holding at most maxModels resident
+// checkpoints (minimum 1) and at most maxIdleClones idle per-worker clones
+// per checkpoint (minimum 1).
+func NewRegistry(dir string, maxModels, maxIdleClones int) *Registry {
+	if maxModels < 1 {
+		maxModels = 1
+	}
+	if maxIdleClones < 1 {
+		maxIdleClones = 1
+	}
+	return &Registry{
+		dir:           dir,
+		maxModels:     maxModels,
+		maxIdleClones: maxIdleClones,
+		byName:        make(map[string]*list.Element),
+		lru:           list.New(),
+	}
+}
+
+// cacheKey is the registry's cache key: the problem combination a model was
+// trained for, independent of its architecture. It doubles as the canonical
+// file-name prefix of the combination's checkpoints.
+func cacheKey(kind taskgraph.Kind, T, cpus, gpus int) string {
+	return fmt.Sprintf("readys_%s_T%d_%dc%dg", kind, T, cpus, gpus)
+}
+
+// resolveSpec finds a checkpoint for the combination in dir, discovering the
+// architecture (w/l/h) from the file name. When several architectures exist
+// for one combination, the lexicographically first name wins, keeping the
+// choice deterministic.
+func (r *Registry) resolveSpec(kind taskgraph.Kind, T, cpus, gpus int) (exp.AgentSpec, error) {
+	paths, err := filepath.Glob(filepath.Join(r.dir, cacheKey(kind, T, cpus, gpus)+"_w*.json"))
+	if err != nil {
+		return exp.AgentSpec{}, err
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if spec, ok := ParseModelName(filepath.Base(p)); ok {
+			return spec, nil
+		}
+	}
+	return exp.AgentSpec{}, fmt.Errorf("serve: no checkpoint %s_* in %s (train it with readys-train): %w",
+		cacheKey(kind, T, cpus, gpus), r.dir, errModelNotFound)
+}
+
+// Acquire leases an inference agent for the given problem combination,
+// loading the checkpoint on first use. cacheHit reports whether the model
+// was already resident. Callers must Release the lease.
+func (r *Registry) Acquire(kind taskgraph.Kind, T, cpus, gpus int) (lease *Lease, cacheHit bool, err error) {
+	name := cacheKey(kind, T, cpus, gpus)
+
+	r.mu.Lock()
+	if el, ok := r.byName[name]; ok {
+		r.lru.MoveToFront(el)
+		m := el.Value.(*model)
+		r.hits++
+		agent := m.popFreeLocked()
+		master := m.master
+		r.mu.Unlock()
+		if agent == nil {
+			// Clone outside the lock: parameter copies are the expensive
+			// part, and the master's values are immutable once loaded.
+			agent = master.Clone()
+		}
+		return &Lease{registry: r, model: m, agent: agent}, true, nil
+	}
+	r.misses++
+	r.mu.Unlock()
+
+	// Load outside the lock so a slow disk read does not serialise the
+	// whole service. A racing load of the same model is harmless: the
+	// loser's copy is inserted-or-discarded below.
+	spec, err := r.resolveSpec(kind, T, cpus, gpus)
+	if err != nil {
+		return nil, false, err
+	}
+	path := spec.ModelPath(r.dir)
+	master := core.NewAgent(spec.AgentConfig())
+	meta, err := master.LoadCheckpoint(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, false, fmt.Errorf("serve: checkpoint %s disappeared: %w", path, errModelNotFound)
+		}
+		return nil, false, fmt.Errorf("serve: loading %s: %w", path, err)
+	}
+
+	r.mu.Lock()
+	if el, ok := r.byName[name]; ok {
+		// Someone else finished loading first; use theirs.
+		r.lru.MoveToFront(el)
+		m := el.Value.(*model)
+		agent := m.popFreeLocked()
+		r.mu.Unlock()
+		if agent == nil {
+			agent = m.master.Clone()
+		}
+		return &Lease{registry: r, model: m, agent: agent}, true, nil
+	}
+	m := &model{key: name, name: spec.Name(), spec: spec, meta: meta, master: master, live: true}
+	r.byName[name] = r.lru.PushFront(m)
+	for r.lru.Len() > r.maxModels {
+		oldest := r.lru.Back()
+		victim := oldest.Value.(*model)
+		victim.live = false
+		victim.free = nil
+		r.lru.Remove(oldest)
+		delete(r.byName, victim.key)
+		r.evicted++
+	}
+	r.mu.Unlock()
+	// The first lease uses its own clone so the master's parameters stay a
+	// pristine copy of the checkpoint.
+	return &Lease{registry: r, model: m, agent: master.Clone()}, false, nil
+}
+
+// popFreeLocked pops an idle clone; callers hold r.mu.
+func (m *model) popFreeLocked() *core.Agent {
+	if n := len(m.free); n > 0 {
+		a := m.free[n-1]
+		m.free = m.free[:n-1]
+		return a
+	}
+	return nil
+}
+
+// Stats returns the registry's counters: resident models, cache hits,
+// misses and evictions.
+func (r *Registry) Stats() (resident int, hits, misses, evicted uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lru.Len(), r.hits, r.misses, r.evicted
+}
+
+// List scans the model directory for canonically named checkpoints and
+// reports each with its resident state. The listing is sorted by name.
+func (r *Registry) List() ([]ModelInfo, error) {
+	paths, err := filepath.Glob(filepath.Join(r.dir, "readys_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	loaded := make(map[string]map[string]string, len(r.byName))
+	for _, el := range r.byName {
+		m := el.Value.(*model)
+		loaded[m.name] = m.meta
+	}
+	r.mu.Unlock()
+
+	var out []ModelInfo
+	for _, p := range paths {
+		spec, ok := ParseModelName(filepath.Base(p))
+		if !ok {
+			continue
+		}
+		meta, resident := loaded[spec.Name()]
+		out = append(out, ModelInfo{
+			Name:   spec.Name(),
+			Kind:   spec.Kind.String(),
+			T:      spec.T,
+			CPUs:   spec.NumCPU,
+			GPUs:   spec.NumGPU,
+			Window: spec.Window,
+			Layers: spec.Layers,
+			Hidden: spec.Hidden,
+			Loaded: resident,
+			Meta:   meta,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Dir returns the registry's checkpoint directory.
+func (r *Registry) Dir() string { return r.dir }

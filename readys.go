@@ -21,13 +21,18 @@
 //
 // A minimal session:
 //
-//	prob := readys.NewProblem(readys.Cholesky, 4, 2, 2, 0.1)
+//	prob, _ := readys.NewProblem(readys.Cholesky, 4, 2, 2, 0.1)
 //	agent := readys.NewAgent(readys.DefaultAgentConfig())
 //	hist, _ := readys.Train(agent, prob, readys.DefaultTrainConfig())
 //	makespans, _ := readys.Evaluate(agent, prob, 5, 42)
+//
+// For long-lived online serving of scheduling requests over HTTP, see
+// internal/serve and the readys-serve daemon.
 package readys
 
 import (
+	"errors"
+	"fmt"
 	"math/rand"
 
 	"readys/internal/core"
@@ -68,16 +73,46 @@ type (
 )
 
 // NewGraph builds the task graph of a factorisation family with T tiles per
-// matrix dimension.
-func NewGraph(kind Kind, T int) *Graph { return taskgraph.NewByKind(kind, T) }
+// matrix dimension. It returns an error on T < 1 or an unknown family.
+func NewGraph(kind Kind, T int) (*Graph, error) {
+	if T < 1 {
+		return nil, fmt.Errorf("readys: tile count T must be >= 1, got %d", T)
+	}
+	switch kind {
+	case Cholesky, LU, QR, taskgraph.Gemm, taskgraph.Stencil, taskgraph.ForkJoin:
+		return taskgraph.NewByKind(kind, T), nil
+	default:
+		return nil, fmt.Errorf("readys: DAG kind %q has no sized generator", kind)
+	}
+}
 
-// NewPlatform builds a platform with the given number of CPUs and GPUs.
-func NewPlatform(numCPU, numGPU int) Platform { return platform.New(numCPU, numGPU) }
+// NewPlatform builds a platform with the given number of CPUs and GPUs. It
+// returns an error when either count is negative or the platform would be
+// empty.
+func NewPlatform(numCPU, numGPU int) (Platform, error) {
+	if numCPU < 0 || numGPU < 0 || numCPU+numGPU < 1 {
+		return Platform{}, fmt.Errorf("readys: platform needs >= 1 resource, got %d CPUs and %d GPUs", numCPU, numGPU)
+	}
+	return platform.New(numCPU, numGPU), nil
+}
 
 // NewProblem builds a scheduling problem: a factorisation DAG on a platform
-// with the given duration-noise level σ (§V-B of the paper).
-func NewProblem(kind Kind, T, numCPU, numGPU int, sigma float64) Problem {
-	return core.NewProblem(kind, T, numCPU, numGPU, sigma)
+// with the given duration-noise level σ (§V-B of the paper). It returns an
+// error on T < 1, an empty or negatively-sized platform, σ < 0, or an
+// unknown DAG family.
+func NewProblem(kind Kind, T, numCPU, numGPU int, sigma float64) (Problem, error) {
+	graph, err := NewGraph(kind, T)
+	if err != nil {
+		return Problem{}, err
+	}
+	plat, err := NewPlatform(numCPU, numGPU)
+	if err != nil {
+		return Problem{}, err
+	}
+	if sigma < 0 {
+		return Problem{}, fmt.Errorf("readys: duration noise sigma must be >= 0, got %g", sigma)
+	}
+	return Problem{Graph: graph, Platform: plat, Timing: platform.TimingFor(kind), Sigma: sigma}, nil
 }
 
 // DefaultAgentConfig returns the paper's best-performing architecture
@@ -93,19 +128,61 @@ func DefaultTrainConfig() TrainConfig { return rl.DefaultConfig() }
 
 // Train runs A2C on the problem and returns the training history.
 func Train(agent *Agent, prob Problem, cfg TrainConfig) (TrainHistory, error) {
+	if err := checkAgentProblem(agent, prob); err != nil {
+		return TrainHistory{}, err
+	}
 	return rl.NewTrainer(agent, prob, cfg).Run(nil)
 }
 
 // Evaluate runs the trained agent greedily for `runs` episodes and returns
 // the achieved makespans.
 func Evaluate(agent *Agent, prob Problem, runs int, seed int64) ([]float64, error) {
+	if err := checkAgentProblem(agent, prob); err != nil {
+		return nil, err
+	}
+	if runs < 1 {
+		return nil, fmt.Errorf("readys: evaluation needs >= 1 run, got %d", runs)
+	}
 	return rl.Evaluate(agent, prob, runs, seed)
 }
 
 // Schedule executes one episode of the agent on the problem and returns the
 // full schedule (placements and makespan).
 func Schedule(agent *Agent, prob Problem, seed int64) (Result, error) {
+	if err := checkAgentProblem(agent, prob); err != nil {
+		return Result{}, err
+	}
 	return prob.Simulate(core.NewPolicy(agent), rand.New(rand.NewSource(seed)))
+}
+
+// CloneAgent returns an independent deep copy of the agent: same
+// architecture, same parameter values, no shared mutable state. Clones are
+// how the serving layer gives each worker goroutine its own inference
+// instance.
+func CloneAgent(agent *Agent) (*Agent, error) {
+	if agent == nil {
+		return nil, errors.New("readys: nil agent")
+	}
+	return agent.Clone(), nil
+}
+
+// ValidateSchedule checks that a simulation result is a feasible schedule for
+// the problem: every task placed exactly once, precedence respected, no two
+// tasks overlapping on a resource, makespan consistent with the trace.
+func ValidateSchedule(prob Problem, res Result) error {
+	if err := prob.Validate(); err != nil {
+		return err
+	}
+	return sim.ValidateResult(prob.Graph, prob.Platform.Size(), res)
+}
+
+// checkAgentProblem guards the episode-running entry points against nil
+// agents and malformed problems (zero-valued structs, negative sigma, …).
+func checkAgentProblem(agent *Agent, prob Problem) error {
+	if agent == nil {
+		return errors.New("readys: nil agent")
+	}
+	return prob.Validate()
 }
 
 // HEFTMakespan returns the projected makespan of the static HEFT heuristic on
@@ -117,6 +194,9 @@ func HEFTMakespan(prob Problem) float64 {
 // MCTMakespan simulates the dynamic MCT heuristic on the problem and returns
 // its makespan.
 func MCTMakespan(prob Problem, seed int64) (float64, error) {
+	if err := prob.Validate(); err != nil {
+		return 0, err
+	}
 	res, err := prob.Simulate(sched.MCTPolicy{}, rand.New(rand.NewSource(seed)))
 	return res.Makespan, err
 }

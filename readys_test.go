@@ -11,7 +11,10 @@ import (
 // does: build a problem, train briefly, evaluate, compare with baselines,
 // save and restore.
 func TestPublicAPIEndToEnd(t *testing.T) {
-	prob := readys.NewProblem(readys.Cholesky, 3, 1, 1, 0.1)
+	prob, err := readys.NewProblem(readys.Cholesky, 3, 1, 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if prob.Graph.NumTasks() != 10 {
 		t.Fatalf("T=3 Cholesky should have 10 tasks, got %d", prob.Graph.NumTasks())
 	}
@@ -67,21 +70,110 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		t.Fatalf("meta %v", meta)
 	}
 	// Transfer to a larger size must work out of the box.
-	big := readys.NewProblem(readys.Cholesky, 6, 1, 1, 0.1)
-	if _, err := readys.Schedule(restored, big, 2); err != nil {
+	big, err := readys.NewProblem(readys.Cholesky, 6, 1, 1, 0.1)
+	if err != nil {
 		t.Fatal(err)
+	}
+	res, err = readys.Schedule(restored, big, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := readys.ValidateSchedule(big, res); err != nil {
+		t.Fatalf("transfer schedule invalid: %v", err)
+	}
+
+	clone, err := readys.CloneAgent(restored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readys.Schedule(clone, big, 2); err != nil {
+		t.Fatalf("clone schedule: %v", err)
 	}
 }
 
 func TestPublicGraphConstructors(t *testing.T) {
 	for _, kind := range []readys.Kind{readys.Cholesky, readys.LU, readys.QR} {
-		g := readys.NewGraph(kind, 4)
+		g, err := readys.NewGraph(kind, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if g.NumTasks() == 0 || g.Validate() != nil {
 			t.Fatalf("%v graph invalid", kind)
 		}
 	}
-	p := readys.NewPlatform(2, 2)
+	p, err := readys.NewPlatform(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if p.Size() != 4 {
 		t.Fatal("platform size")
+	}
+}
+
+// TestConstructorValidation covers the error paths of the public
+// constructors: they must return errors, not panic or silently build a
+// degenerate problem.
+func TestConstructorValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() error
+	}{
+		{"graph T=0", func() error { _, err := readys.NewGraph(readys.Cholesky, 0); return err }},
+		{"graph T<0", func() error { _, err := readys.NewGraph(readys.LU, -3); return err }},
+		{"graph bad kind", func() error { _, err := readys.NewGraph(readys.Kind(99), 4); return err }},
+		{"platform empty", func() error { _, err := readys.NewPlatform(0, 0); return err }},
+		{"platform negative CPUs", func() error { _, err := readys.NewPlatform(-1, 2); return err }},
+		{"platform negative GPUs", func() error { _, err := readys.NewPlatform(2, -1); return err }},
+		{"problem T=0", func() error { _, err := readys.NewProblem(readys.Cholesky, 0, 2, 2, 0.1); return err }},
+		{"problem empty platform", func() error { _, err := readys.NewProblem(readys.QR, 4, 0, 0, 0.1); return err }},
+		{"problem sigma<0", func() error { _, err := readys.NewProblem(readys.Cholesky, 4, 2, 2, -0.1); return err }},
+		{"problem bad kind", func() error { _, err := readys.NewProblem(readys.Kind(99), 4, 2, 2, 0.1); return err }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.build(); err == nil {
+				t.Fatal("expected an error, got nil")
+			}
+		})
+	}
+}
+
+// TestRunnerValidation covers the episode-running entry points on malformed
+// inputs: nil agents and hand-assembled broken problems.
+func TestRunnerValidation(t *testing.T) {
+	good, err := readys.NewProblem(readys.Cholesky, 2, 1, 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := readys.DefaultAgentConfig()
+	cfg.Hidden = 8
+	cfg.Layers = 1
+	agent := readys.NewAgent(cfg)
+
+	var empty readys.Problem // zero-valued: no graph, no platform
+	negSigma := good
+	negSigma.Sigma = -1
+
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"schedule nil agent", func() error { _, err := readys.Schedule(nil, good, 1); return err }},
+		{"schedule empty problem", func() error { _, err := readys.Schedule(agent, empty, 1); return err }},
+		{"schedule sigma<0", func() error { _, err := readys.Schedule(agent, negSigma, 1); return err }},
+		{"evaluate nil agent", func() error { _, err := readys.Evaluate(nil, good, 1, 1); return err }},
+		{"evaluate zero runs", func() error { _, err := readys.Evaluate(agent, good, 0, 1); return err }},
+		{"evaluate empty problem", func() error { _, err := readys.Evaluate(agent, empty, 1, 1); return err }},
+		{"train nil agent", func() error { _, err := readys.Train(nil, good, readys.DefaultTrainConfig()); return err }},
+		{"train empty problem", func() error { _, err := readys.Train(agent, empty, readys.DefaultTrainConfig()); return err }},
+		{"mct empty problem", func() error { _, err := readys.MCTMakespan(empty, 1); return err }},
+		{"clone nil agent", func() error { _, err := readys.CloneAgent(nil); return err }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.run(); err == nil {
+				t.Fatal("expected an error, got nil")
+			}
+		})
 	}
 }
