@@ -1,15 +1,18 @@
 # Pre-merge checks for the READYS reproduction.
 #
-#   make check     — everything a PR must pass: build, vet, tests, race tests
+#   make check     — everything a PR must pass: build, vet, tests, race tests,
+#                    observability smoke test
 #   make race      — just the race-detector runs (serving + agent core)
+#   make obs-smoke — end-to-end telemetry/trace pipeline check
 #   make bench     — serving-throughput benchmark
 #   make serve     — run the scheduling daemon against ./models
 
 GO ?= go
+OBS_TMP ?= /tmp/readys-obs-smoke
 
-.PHONY: check build vet test race bench serve
+.PHONY: check build vet test race obs-smoke bench serve
 
-check: build vet test race
+check: build vet test race obs-smoke
 
 build:
 	$(GO) build ./...
@@ -24,6 +27,18 @@ test:
 # (registry, pool, handlers) and internal/core (shared-agent inference).
 race:
 	$(GO) test -race ./internal/serve/... ./internal/core/...
+
+# End-to-end observability check: train a tiny agent with -telemetry, simulate
+# one DAG with -trace, then assert both artifacts are valid and non-empty.
+obs-smoke:
+	rm -rf $(OBS_TMP) && mkdir -p $(OBS_TMP)
+	$(GO) run ./cmd/readys-train -kind cholesky -T 2 -episodes 3 -quiet \
+		-out $(OBS_TMP)/models -telemetry $(OBS_TMP)/train.jsonl
+	$(GO) run ./cmd/readys-sim -kind cholesky -T 2 -policy mct \
+		-trace $(OBS_TMP)/trace.json > /dev/null
+	$(GO) run ./cmd/readys-obs-check -jsonl $(OBS_TMP)/train.jsonl \
+		-trace $(OBS_TMP)/trace.json
+	rm -rf $(OBS_TMP)
 
 bench:
 	$(GO) test -bench BenchmarkServeScheduleThroughput -benchtime 2s -run '^$$' ./internal/serve/

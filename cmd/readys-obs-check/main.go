@@ -1,0 +1,61 @@
+// readys-obs-check validates observability artifacts: structured-telemetry
+// JSONL files (readys-train -telemetry) and Chrome trace-event JSON files
+// (readys-sim -trace, serve's /debug/trace). It exits non-zero when a file is
+// missing, empty, or malformed, so `make obs-smoke` can assert the pipeline
+// end to end.
+//
+// Usage:
+//
+//	readys-obs-check -jsonl train.jsonl -trace trace.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"readys/internal/obs"
+)
+
+func main() {
+	var (
+		jsonlPath = flag.String("jsonl", "", "JSONL telemetry file to validate")
+		tracePath = flag.String("trace", "", "Chrome trace-event JSON file to validate")
+	)
+	flag.Parse()
+	if *jsonlPath == "" && *tracePath == "" {
+		log.Fatal("nothing to check: pass -jsonl and/or -trace")
+	}
+
+	if *jsonlPath != "" {
+		data, err := os.ReadFile(*jsonlPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lines, err := obs.DecodeJSONLines(data)
+		if err != nil {
+			log.Fatalf("%s: %v", *jsonlPath, err)
+		}
+		if len(lines) == 0 {
+			log.Fatalf("%s: no telemetry records", *jsonlPath)
+		}
+		var last map[string]any
+		if err := json.Unmarshal(lines[len(lines)-1], &last); err != nil {
+			log.Fatalf("%s: final record: %v", *jsonlPath, err)
+		}
+		fmt.Printf("%s: %d records, final %v\n", *jsonlPath, len(lines), last)
+	}
+
+	if *tracePath != "" {
+		data, err := os.ReadFile(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := obs.ValidateChromeTrace(data); err != nil {
+			log.Fatalf("%s: %v", *tracePath, err)
+		}
+		fmt.Printf("%s: valid Chrome trace (%d bytes)\n", *tracePath, len(data))
+	}
+}

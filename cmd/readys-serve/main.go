@@ -12,6 +12,8 @@
 //	GET  /v1/models     list checkpoints the registry can serve
 //	GET  /healthz       liveness probe
 //	GET  /metrics       request counters, latency histograms, cache stats
+//	                    (?format=prometheus for text exposition)
+//	GET  /debug/trace   request spans as Chrome trace-event JSON
 //
 // On SIGINT/SIGTERM the daemon stops accepting connections and drains
 // queued and in-flight rollouts before exiting.
@@ -34,13 +36,15 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		models    = flag.String("models", exp.DefaultModelsDir(), "checkpoint directory")
-		workers   = flag.Int("workers", 0, "rollout workers (default: GOMAXPROCS)")
-		queue     = flag.Int("queue", 64, "bounded request-queue capacity")
-		maxModels = flag.Int("max-models", 8, "resident checkpoints before LRU eviction")
-		timeout   = flag.Duration("timeout", 30*time.Second, "per-request deadline")
-		drain     = flag.Duration("drain", 30*time.Second, "shutdown drain budget")
+		addr        = flag.String("addr", ":8080", "listen address")
+		models      = flag.String("models", exp.DefaultModelsDir(), "checkpoint directory")
+		workers     = flag.Int("workers", 0, "rollout workers (default: GOMAXPROCS)")
+		queue       = flag.Int("queue", 64, "bounded request-queue capacity")
+		maxModels   = flag.Int("max-models", 8, "resident checkpoints before LRU eviction")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-request deadline")
+		drain       = flag.Duration("drain", 30*time.Second, "shutdown drain budget")
+		enablePprof = flag.Bool("pprof", false, "expose net/http/pprof and /debug/runtime (off by default)")
+		traceEvents = flag.Int("trace-events", 0, "request-span ring capacity for /debug/trace (0 = default)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "readys-serve: ", log.LstdFlags)
@@ -58,7 +62,12 @@ func main() {
 		MaxModels:      *maxModels,
 		RequestTimeout: *timeout,
 		Logger:         logger,
+		EnablePprof:    *enablePprof,
+		TraceEvents:    *traceEvents,
 	})
+	if *enablePprof {
+		logger.Print("pprof enabled at /debug/pprof/")
+	}
 	if infos, err := srv.Registry().List(); err != nil {
 		logger.Fatalf("scanning %s: %v", *models, err)
 	} else {

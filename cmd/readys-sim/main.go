@@ -19,6 +19,7 @@ import (
 
 	"readys/internal/core"
 	"readys/internal/exp"
+	"readys/internal/obs"
 	"readys/internal/platform"
 	"readys/internal/sched"
 	"readys/internal/sim"
@@ -27,17 +28,18 @@ import (
 
 func main() {
 	var (
-		kindStr = flag.String("kind", "cholesky", "DAG family: cholesky, lu, qr, gemm, stencil or forkjoin")
-		tiles   = flag.Int("T", 8, "problem size")
-		cpus    = flag.Int("cpus", 2, "number of CPUs")
-		gpus    = flag.Int("gpus", 2, "number of GPUs")
-		sigma   = flag.Float64("sigma", 0.2, "duration noise level σ")
-		policy  = flag.String("policy", "mct", "scheduler: readys, heft, replan-heft, mct, minmin, maxmin, rank, fifo, random")
-		models  = flag.String("models", exp.DefaultModelsDir(), "model directory (for -policy readys)")
-		seed    = flag.Int64("seed", 1, "simulation seed")
-		comm    = flag.Bool("comm", false, "enable the PCIe-class communication model")
-		csvPath = flag.String("gantt", "", "write the schedule as Gantt CSV to this path")
-		svgPath = flag.String("svg", "", "write the schedule as an SVG Gantt chart to this path")
+		kindStr   = flag.String("kind", "cholesky", "DAG family: cholesky, lu, qr, gemm, stencil or forkjoin")
+		tiles     = flag.Int("T", 8, "problem size")
+		cpus      = flag.Int("cpus", 2, "number of CPUs")
+		gpus      = flag.Int("gpus", 2, "number of GPUs")
+		sigma     = flag.Float64("sigma", 0.2, "duration noise level σ")
+		policy    = flag.String("policy", "mct", "scheduler: readys, heft, replan-heft, mct, minmin, maxmin, rank, fifo, random")
+		models    = flag.String("models", exp.DefaultModelsDir(), "model directory (for -policy readys)")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		comm      = flag.Bool("comm", false, "enable the PCIe-class communication model")
+		csvPath   = flag.String("gantt", "", "write the schedule as Gantt CSV to this path")
+		svgPath   = flag.String("svg", "", "write the schedule as an SVG Gantt chart to this path")
+		tracePath = flag.String("trace", "", "write the schedule as Chrome trace-event JSON to this path (load in chrome://tracing or ui.perfetto.dev)")
 	)
 	flag.Parse()
 
@@ -82,6 +84,11 @@ func main() {
 	if *comm {
 		opts.Comm = platform.DefaultCommModel()
 	}
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.NewTracer(0)
+		opts.Tracer = tracer
+	}
 	res, err := sim.Simulate(g, plat, tt, pol, opts)
 	if err != nil {
 		log.Fatal(err)
@@ -114,6 +121,10 @@ func main() {
 	if *svgPath != "" {
 		writeFile(*svgPath, func(f *os.File) error { return sim.WriteGanttSVG(f, g, plat, res) })
 		fmt.Println("wrote", *svgPath)
+	}
+	if tracer != nil {
+		writeFile(*tracePath, func(f *os.File) error { return tracer.WriteChromeTrace(f) })
+		fmt.Println("wrote", *tracePath)
 	}
 }
 

@@ -13,32 +13,36 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"readys/internal/exp"
+	"readys/internal/obs"
 	"readys/internal/rl"
 	"readys/internal/taskgraph"
 )
 
 func main() {
 	var (
-		kindStr  = flag.String("kind", "cholesky", "DAG family: cholesky, lu or qr")
-		tiles    = flag.Int("T", 4, "tile count per matrix dimension")
-		cpus     = flag.Int("cpus", 2, "number of CPUs")
-		gpus     = flag.Int("gpus", 2, "number of GPUs")
-		episodes = flag.Int("episodes", 0, "training episodes (0 = size-scaled default)")
-		out      = flag.String("out", exp.DefaultModelsDir(), "model output directory")
-		all      = flag.Bool("all", false, "train every agent needed by the paper's figures")
-		window   = flag.Int("window", 2, "sub-DAG window depth w")
-		layers   = flag.Int("layers", 2, "number of GCN layers g")
-		hidden   = flag.Int("hidden", 32, "embedding width")
-		seed     = flag.Int64("seed", 1, "training seed")
-		quiet    = flag.Bool("quiet", false, "suppress per-interval progress")
+		kindStr   = flag.String("kind", "cholesky", "DAG family: cholesky, lu or qr")
+		tiles     = flag.Int("T", 4, "tile count per matrix dimension")
+		cpus      = flag.Int("cpus", 2, "number of CPUs")
+		gpus      = flag.Int("gpus", 2, "number of GPUs")
+		episodes  = flag.Int("episodes", 0, "training episodes (0 = size-scaled default)")
+		out       = flag.String("out", exp.DefaultModelsDir(), "model output directory")
+		all       = flag.Bool("all", false, "train every agent needed by the paper's figures")
+		window    = flag.Int("window", 2, "sub-DAG window depth w")
+		layers    = flag.Int("layers", 2, "number of GCN layers g")
+		hidden    = flag.Int("hidden", 32, "embedding width")
+		seed      = flag.Int64("seed", 1, "training seed")
+		quiet     = flag.Bool("quiet", false, "suppress per-interval progress")
+		telemetry = flag.String("telemetry", "", "write per-episode training stats as JSON lines to this file (with -all, one file per agent named after it)")
 	)
 	flag.Parse()
 
 	if *all {
-		if err := trainAll(*out, *quiet); err != nil {
+		if err := trainAll(*out, *quiet, *telemetry); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -54,12 +58,12 @@ func main() {
 	if eps == 0 {
 		eps = exp.EpisodesFor(kind, *tiles)
 	}
-	if err := trainOne(spec, *out, eps, *quiet); err != nil {
+	if err := trainOne(spec, *out, eps, *quiet, *telemetry); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func trainOne(spec exp.AgentSpec, dir string, episodes int, quiet bool) error {
+func trainOne(spec exp.AgentSpec, dir string, episodes int, quiet bool, telemetryPath string) error {
 	if _, err := os.Stat(spec.ModelPath(dir)); err == nil {
 		fmt.Printf("%s: checkpoint exists, skipping\n", spec.Name())
 		return nil
@@ -70,14 +74,32 @@ func trainOne(spec exp.AgentSpec, dir string, episodes int, quiet bool) error {
 	if interval == 0 {
 		interval = 1
 	}
-	_, hist, err := exp.TrainAgent(spec, dir, episodes, func(st rl.EpisodeStats) {
-		if !quiet && st.Episode%interval == 0 {
-			fmt.Printf("  ep %5d  reward %+.3f  makespan %8.1f  entropy %.3f\n",
-				st.Episode, st.Reward, st.Makespan, st.Entropy)
+	opt := exp.TrainOptions{
+		Episodes: episodes,
+		Progress: func(st rl.EpisodeStats) {
+			if !quiet && st.Episode%interval == 0 {
+				fmt.Printf("  ep %5d  reward %+.3f  makespan %8.1f  entropy %.3f\n",
+					st.Episode, st.Reward, st.Makespan, st.Entropy)
+			}
+		},
+	}
+	if telemetryPath != "" {
+		sink, err := obs.CreateJSONL(telemetryPath)
+		if err != nil {
+			return err
 		}
-	})
+		defer sink.Close()
+		opt.Telemetry = sink
+	}
+	_, hist, err := exp.TrainAgentWith(spec, dir, opt)
 	if err != nil {
 		return err
+	}
+	if opt.Telemetry != nil {
+		if err := opt.Telemetry.Flush(); err != nil {
+			return err
+		}
+		fmt.Printf("  telemetry → %s\n", telemetryPath)
 	}
 	fmt.Printf("done in %s: HEFT baseline %.1f, final mean reward %+.3f → %s\n",
 		time.Since(start).Round(time.Second), hist.BaselineMakespan,
@@ -89,7 +111,7 @@ func trainOne(spec exp.AgentSpec, dir string, episodes int, quiet bool) error {
 // 2 CPUs + 2 GPUs) and of the transfer experiments of Figures 4-6 (Cholesky
 // T∈{4,6,8} on 4 CPUs, 2 CPUs + 2 GPUs and 4 GPUs). Existing checkpoints are
 // skipped, so the command is resumable.
-func trainAll(dir string, quiet bool) error {
+func trainAll(dir string, quiet bool, telemetryPath string) error {
 	var specs []exp.AgentSpec
 	for _, kind := range []taskgraph.Kind{taskgraph.Cholesky, taskgraph.LU, taskgraph.QR} {
 		for _, T := range []int{2, 4, 8} {
@@ -107,9 +129,20 @@ func trainAll(dir string, quiet bool) error {
 			continue
 		}
 		seen[spec.Name()] = true
-		if err := trainOne(spec, dir, exp.EpisodesFor(spec.Kind, spec.T), quiet); err != nil {
+		if err := trainOne(spec, dir, exp.EpisodesFor(spec.Kind, spec.T), quiet, perAgentTelemetry(telemetryPath, spec)); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// perAgentTelemetry derives a per-agent JSONL path from the -telemetry flag
+// so -all runs don't interleave every agent's stream into one file:
+// "runs/train.jsonl" becomes "runs/train_<spec name>.jsonl".
+func perAgentTelemetry(path string, spec exp.AgentSpec) string {
+	if path == "" {
+		return ""
+	}
+	ext := filepath.Ext(path)
+	return strings.TrimSuffix(path, ext) + "_" + spec.Name() + ext
 }

@@ -6,19 +6,38 @@ import (
 	"strconv"
 
 	"readys/internal/core"
+	"readys/internal/obs"
 	"readys/internal/rl"
 )
+
+// TrainOptions parameterise TrainAgentWith beyond the spec itself.
+type TrainOptions struct {
+	// Episodes is the training budget.
+	Episodes int
+	// Progress, if non-nil, receives per-episode statistics.
+	Progress func(rl.EpisodeStats)
+	// Telemetry, if non-nil, receives every EpisodeStats as one JSON line.
+	// Attaching a sink never changes the training trajectory.
+	Telemetry *obs.JSONL
+}
 
 // TrainAgent trains a fresh agent for the spec with the given episode budget
 // and saves its checkpoint under dir. Progress, if non-nil, receives episode
 // statistics.
 func TrainAgent(spec AgentSpec, dir string, episodes int, progress func(rl.EpisodeStats)) (*core.Agent, rl.History, error) {
+	return TrainAgentWith(spec, dir, TrainOptions{Episodes: episodes, Progress: progress})
+}
+
+// TrainAgentWith is TrainAgent with a full option set, including a structured
+// telemetry sink.
+func TrainAgentWith(spec AgentSpec, dir string, opt TrainOptions) (*core.Agent, rl.History, error) {
 	agent := core.NewAgent(spec.AgentConfig())
 	cfg := rl.DefaultConfig()
-	cfg.Episodes = episodes
+	cfg.Episodes = opt.Episodes
 	cfg.Seed = spec.Seed
 	trainer := rl.NewTrainer(agent, spec.Problem(), cfg)
-	hist, err := trainer.Run(progress)
+	trainer.Telemetry = opt.Telemetry
+	hist, err := trainer.Run(opt.Progress)
 	if err != nil {
 		return nil, hist, fmt.Errorf("exp: training %s: %w", spec.Name(), err)
 	}
@@ -32,7 +51,7 @@ func TrainAgent(spec AgentSpec, dir string, episodes int, progress func(rl.Episo
 			"cpus":              strconv.Itoa(spec.NumCPU),
 			"gpus":              strconv.Itoa(spec.NumGPU),
 			"sigma_train":       fmt.Sprintf("%g", spec.SigmaTrain),
-			"episodes":          strconv.Itoa(episodes),
+			"episodes":          strconv.Itoa(opt.Episodes),
 			"final_mean_reward": fmt.Sprintf("%.4f", hist.FinalMeanReward(100)),
 		}
 		if err := agent.SaveCheckpoint(spec.ModelPath(dir), meta); err != nil {

@@ -1,0 +1,49 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"readys/internal/obs"
+	"readys/internal/taskgraph"
+)
+
+// TestTrainAgentWithTelemetry is the end-to-end acceptance check for the
+// training telemetry pipeline: a short readys-train-style run with a JSONL
+// sink attached must stream exactly one record per episode, and the final
+// record's reward must match the returned History exactly.
+func TestTrainAgentWithTelemetry(t *testing.T) {
+	spec := DefaultAgentSpec(taskgraph.Cholesky, 2, 1, 1)
+	spec.Hidden, spec.Layers = 8, 1
+
+	var buf bytes.Buffer
+	sink := obs.NewJSONL(&buf)
+	_, hist, err := TrainAgentWith(spec, "", TrainOptions{Episodes: 4, Telemetry: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines, err := obs.DecodeJSONLines(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != len(hist.Episodes) {
+		t.Fatalf("%d telemetry lines for %d episodes", len(lines), len(hist.Episodes))
+	}
+	var last struct {
+		Episode int     `json:"episode"`
+		Reward  float64 `json:"reward"`
+	}
+	if err := json.Unmarshal(lines[len(lines)-1], &last); err != nil {
+		t.Fatal(err)
+	}
+	final := hist.Episodes[len(hist.Episodes)-1]
+	if last.Episode != final.Episode || last.Reward != final.Reward {
+		t.Fatalf("final telemetry record (ep %d, reward %v) != history (ep %d, reward %v)",
+			last.Episode, last.Reward, final.Episode, final.Reward)
+	}
+}

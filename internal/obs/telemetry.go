@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// JSONL writes one JSON document per line — the structured telemetry format
+// the trainers emit per-episode records into. Writes are serialised by a
+// mutex so multiple goroutines may share a sink. The writer is buffered;
+// call Flush (or Close) before reading the output elsewhere.
+type JSONL struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	c   io.Closer
+}
+
+// NewJSONL wraps an io.Writer as a JSONL sink. If w is also an io.Closer,
+// Close closes it.
+func NewJSONL(w io.Writer) *JSONL {
+	bw := bufio.NewWriter(w)
+	j := &JSONL{bw: bw, enc: json.NewEncoder(bw)}
+	if c, ok := w.(io.Closer); ok {
+		j.c = c
+	}
+	return j
+}
+
+// CreateJSONL creates (or truncates) path and returns a sink writing to it.
+func CreateJSONL(path string) (*JSONL, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: creating telemetry file: %w", err)
+	}
+	return NewJSONL(f), nil
+}
+
+// Write appends v as one JSON line.
+func (j *JSONL) Write(v any) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.enc.Encode(v)
+}
+
+// Flush pushes buffered lines to the underlying writer.
+func (j *JSONL) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.bw.Flush()
+}
+
+// Close flushes and, when the sink owns a file, closes it.
+func (j *JSONL) Close() error {
+	if err := j.Flush(); err != nil {
+		return err
+	}
+	if j.c != nil {
+		return j.c.Close()
+	}
+	return nil
+}
+
+// DecodeJSONLines parses every non-empty line of data as a JSON object and
+// returns the raw messages. It errors on the first malformed line — the
+// check `make obs-smoke` and the telemetry tests run over training output.
+func DecodeJSONLines(data []byte) ([]json.RawMessage, error) {
+	var out []json.RawMessage
+	start := 0
+	for i := 0; i <= len(data); i++ {
+		if i != len(data) && data[i] != '\n' {
+			continue
+		}
+		line := data[start:i]
+		start = i + 1
+		if len(line) == 0 {
+			continue
+		}
+		if !json.Valid(line) {
+			return nil, fmt.Errorf("obs: line %d is not valid JSON: %.80s", len(out)+1, line)
+		}
+		out = append(out, json.RawMessage(append([]byte(nil), line...)))
+	}
+	return out, nil
+}

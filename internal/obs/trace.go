@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Event is one record in the Chrome trace-event JSON format (the format
+// chrome://tracing and Perfetto load). Timestamps and durations are in
+// microseconds, per the format specification.
+type Event struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int64          `json:"pid"`
+	TID  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Trace-event phase constants used by this repository.
+const (
+	PhaseBegin    = "B" // duration-slice begin
+	PhaseEnd      = "E" // duration-slice end
+	PhaseComplete = "X" // complete slice with an explicit duration
+	PhaseInstant  = "i" // point event
+	PhaseMetadata = "M" // process/thread naming
+)
+
+// Tracer records timestamped, attributed events into a fixed-capacity ring
+// buffer. When the ring is full, the oldest events are overwritten (the
+// dropped count is reported in the exported trace), so a long-running server
+// always keeps the most recent window. Process and thread names are stored
+// outside the ring so lane naming survives wrap-around. All methods are safe
+// for concurrent use.
+type Tracer struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int
+	full    bool
+	dropped uint64
+
+	procNames   map[int64]string
+	threadNames map[[2]int64]string
+	procOrder   []int64
+	threadOrder [][2]int64
+}
+
+// DefaultTraceCapacity is the ring size used when NewTracer is given a
+// non-positive capacity: enough for a few thousand requests or a mid-size
+// simulated schedule.
+const DefaultTraceCapacity = 1 << 16
+
+// NewTracer returns a tracer with the given ring capacity (<= 0 selects
+// DefaultTraceCapacity).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{
+		buf:         make([]Event, 0, capacity),
+		procNames:   make(map[int64]string),
+		threadNames: make(map[[2]int64]string),
+	}
+}
+
+func (t *Tracer) push(e Event) {
+	t.mu.Lock()
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, e)
+	} else {
+		t.buf[t.next] = e
+		t.next = (t.next + 1) % cap(t.buf)
+		t.full = true
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// Begin records the start of a duration slice on lane (pid, tid) at ts
+// microseconds.
+func (t *Tracer) Begin(name, cat string, pid, tid int64, ts float64, args map[string]any) {
+	t.push(Event{Name: name, Cat: cat, Ph: PhaseBegin, TS: ts, PID: pid, TID: tid, Args: args})
+}
+
+// End closes the innermost open slice on lane (pid, tid) at ts microseconds.
+func (t *Tracer) End(name string, pid, tid int64, ts float64) {
+	t.push(Event{Name: name, Ph: PhaseEnd, TS: ts, PID: pid, TID: tid})
+}
+
+// Complete records a slice with an explicit duration (both in microseconds).
+func (t *Tracer) Complete(name, cat string, pid, tid int64, ts, dur float64, args map[string]any) {
+	t.push(Event{Name: name, Cat: cat, Ph: PhaseComplete, TS: ts, Dur: dur, PID: pid, TID: tid, Args: args})
+}
+
+// Instant records a point event.
+func (t *Tracer) Instant(name, cat string, pid, tid int64, ts float64, args map[string]any) {
+	t.push(Event{Name: name, Cat: cat, Ph: PhaseInstant, TS: ts, PID: pid, TID: tid, Args: args})
+}
+
+// NameProcess assigns a display name to a pid.
+func (t *Tracer) NameProcess(pid int64, name string) {
+	t.mu.Lock()
+	if _, ok := t.procNames[pid]; !ok {
+		t.procOrder = append(t.procOrder, pid)
+	}
+	t.procNames[pid] = name
+	t.mu.Unlock()
+}
+
+// NameThread assigns a display name to a lane (pid, tid).
+func (t *Tracer) NameThread(pid, tid int64, name string) {
+	key := [2]int64{pid, tid}
+	t.mu.Lock()
+	if _, ok := t.threadNames[key]; !ok {
+		t.threadOrder = append(t.threadOrder, key)
+	}
+	t.threadNames[key] = name
+	t.mu.Unlock()
+}
+
+// Events returns a copy of the buffered events in record order (oldest
+// first), excluding naming metadata.
+func (t *Tracer) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		return append([]Event(nil), t.buf...)
+	}
+	out := make([]Event, 0, cap(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// Dropped returns how many events were overwritten by ring wrap-around.
+func (t *Tracer) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Len returns the number of buffered events.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.buf)
+}
+
+// chromeTrace is the JSON-object envelope of the trace-event format.
+type chromeTrace struct {
+	TraceEvents     []Event        `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// WriteChromeTrace exports the buffered events as a Chrome trace-event JSON
+// object: naming metadata first (sorted, so output is deterministic), then
+// the events in record order. The result loads directly in chrome://tracing
+// and https://ui.perfetto.dev.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	t.mu.Lock()
+	procs := append([]int64(nil), t.procOrder...)
+	threads := append([][2]int64(nil), t.threadOrder...)
+	dropped := t.dropped
+	t.mu.Unlock()
+	sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+	sort.Slice(threads, func(i, j int) bool {
+		if threads[i][0] != threads[j][0] {
+			return threads[i][0] < threads[j][0]
+		}
+		return threads[i][1] < threads[j][1]
+	})
+
+	events := make([]Event, 0, len(procs)+len(threads)+t.Len())
+	t.mu.Lock()
+	for _, pid := range procs {
+		events = append(events, Event{
+			Name: "process_name", Ph: PhaseMetadata, PID: pid,
+			Args: map[string]any{"name": t.procNames[pid]},
+		})
+	}
+	for _, key := range threads {
+		events = append(events, Event{
+			Name: "thread_name", Ph: PhaseMetadata, PID: key[0], TID: key[1],
+			Args: map[string]any{"name": t.threadNames[key]},
+		})
+	}
+	t.mu.Unlock()
+	events = append(events, t.Events()...)
+
+	out := chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"}
+	if dropped > 0 {
+		out.OtherData = map[string]any{"dropped_events": dropped}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -18,6 +18,7 @@ import (
 	"readys/internal/autograd"
 	"readys/internal/core"
 	"readys/internal/nn"
+	"readys/internal/obs"
 )
 
 // Config holds the A2C hyper-parameters. Defaults follow §V-D.
@@ -67,13 +68,21 @@ func DefaultConfig() Config {
 	}
 }
 
-// EpisodeStats summarises one training episode.
+// EpisodeStats summarises one training episode. It doubles as the JSONL
+// telemetry record (one line per episode), so every field carries a JSON tag.
 type EpisodeStats struct {
-	Episode  int
-	Makespan float64
-	Reward   float64
-	Entropy  float64
-	Loss     float64
+	Episode  int     `json:"episode"`
+	Makespan float64 `json:"makespan"`
+	Reward   float64 `json:"reward"`
+	Entropy  float64 `json:"entropy"`
+	Loss     float64 `json:"loss"`
+	// PolicyLoss and ValueLoss are the actor and critic components of Loss
+	// (mean per decision for A2C; batch mean of the final PPO epoch).
+	PolicyLoss float64 `json:"policy_loss"`
+	ValueLoss  float64 `json:"value_loss"`
+	// GradNorm is the pre-clip global gradient norm of the update applied at
+	// the end of this episode, or 0 when the episode did not close a batch.
+	GradNorm float64 `json:"grad_norm"`
 }
 
 // History is the training curve.
@@ -106,6 +115,12 @@ type Trainer struct {
 	Problem core.Problem
 	Cfg     Config
 
+	// Telemetry, if non-nil, receives one EpisodeStats JSON line per episode.
+	// The sink is write-only for the trainer: attaching it never touches the
+	// RNG or the gradients, so training results are bit-identical with and
+	// without telemetry.
+	Telemetry *obs.JSONL
+
 	opt      *nn.Adam
 	baseline float64
 	rng      *rand.Rand
@@ -130,7 +145,9 @@ func NewTrainer(agent *core.Agent, problem core.Problem, cfg Config) *Trainer {
 func (t *Trainer) Baseline() float64 { return t.baseline }
 
 // Run trains for Cfg.Episodes episodes and returns the training history.
-// Progress, if non-nil, is called after every episode.
+// Progress, if non-nil, is called after every episode; both a nil progress
+// callback and a nil Telemetry sink are fine — emission is routed through one
+// sink (emitEpisode), so the loop never branches on them.
 func (t *Trainer) Run(progress func(EpisodeStats)) (History, error) {
 	hist := History{BaselineMakespan: t.baseline}
 	params := t.Agent.Params()
@@ -143,38 +160,68 @@ func (t *Trainer) Run(progress func(EpisodeStats)) (History, error) {
 			return hist, fmt.Errorf("rl: episode %d: %w", ep, err)
 		}
 		reward := core.Reward(t.baseline, res.Makespan)
-		loss := t.accumulate(pol.Steps, reward)
+		loss, policyLoss, valueLoss := t.accumulate(pol.Steps, reward)
 		inBatch++
+		var gradNorm float64
 		if inBatch == t.Cfg.BatchEpisodes || ep == t.Cfg.Episodes-1 {
-			if t.Cfg.ClipNorm > 0 {
-				params.ClipGradNorm(t.Cfg.ClipNorm)
-			}
-			t.opt.Step(params)
-			params.ZeroGrad()
+			gradNorm = applyUpdate(params, t.opt, t.Cfg.ClipNorm)
 			inBatch = 0
 		}
 		st := EpisodeStats{
-			Episode:  ep,
-			Makespan: res.Makespan,
-			Reward:   reward,
-			Entropy:  pol.MeanEntropy(),
-			Loss:     loss,
+			Episode:    ep,
+			Makespan:   res.Makespan,
+			Reward:     reward,
+			Entropy:    pol.MeanEntropy(),
+			Loss:       loss,
+			PolicyLoss: policyLoss,
+			ValueLoss:  valueLoss,
+			GradNorm:   gradNorm,
 		}
 		hist.Episodes = append(hist.Episodes, st)
-		if progress != nil {
-			progress(st)
+		if err := emitEpisode(t.Telemetry, progress, st); err != nil {
+			return hist, err
 		}
 	}
 	return hist, nil
 }
 
+// applyUpdate clips gradients (when enabled), steps the optimiser and zeroes
+// the gradients, returning the pre-clip global gradient norm.
+func applyUpdate(params *nn.ParamSet, opt *nn.Adam, clipNorm float64) float64 {
+	var norm float64
+	if clipNorm > 0 {
+		norm = params.ClipGradNorm(clipNorm)
+	} else {
+		norm = params.GradNorm()
+	}
+	opt.Step(params)
+	params.ZeroGrad()
+	return norm
+}
+
+// emitEpisode delivers one episode's statistics to the telemetry sink and the
+// optional progress callback. Both trainers route every emission through
+// here, so call sites stay free of nil checks and the sink can never mutate
+// training state.
+func emitEpisode(sink *obs.JSONL, progress func(EpisodeStats), st EpisodeStats) error {
+	if sink != nil {
+		if err := sink.Write(st); err != nil {
+			return fmt.Errorf("rl: writing telemetry: %w", err)
+		}
+	}
+	if progress != nil {
+		progress(st)
+	}
+	return nil
+}
+
 // accumulate builds the per-decision losses of one episode, runs backward on
 // each decision's tape and accumulates gradients into the agent parameters.
-// It returns the mean per-decision loss.
-func (t *Trainer) accumulate(steps []core.Step, reward float64) float64 {
+// It returns the mean per-decision total, policy and value losses.
+func (t *Trainer) accumulate(steps []core.Step, reward float64) (total, policy, value float64) {
 	d := len(steps)
 	if d == 0 {
-		return 0
+		return 0, 0, 0
 	}
 	// Per-step rewards: zero on non-terminal transitions per §III-B, except
 	// under the idle-penalty shaping ablation.
@@ -203,7 +250,6 @@ func (t *Trainer) accumulate(steps []core.Step, reward float64) float64 {
 		}
 	}
 
-	var totalLoss float64
 	scale := 1.0 / float64(d)
 	for i, st := range steps {
 		fw := st.Forward
@@ -219,10 +265,12 @@ func (t *Trainer) accumulate(steps []core.Step, reward float64) float64 {
 		// Normalise by episode length so long episodes don't dominate.
 		loss = tp.Scale(loss, scale)
 		tp.Backward(loss)
+		policy += autograd.Scalar(policyLoss) * scale
+		value += autograd.Scalar(valueLoss) * scale
 		fw.Binding.Flush()
-		totalLoss += autograd.Scalar(loss)
+		total += autograd.Scalar(loss)
 	}
-	return totalLoss
+	return total, policy, value
 }
 
 // Evaluate runs the agent greedily on the problem for the given number of

@@ -8,6 +8,7 @@ import (
 	"readys/internal/autograd"
 	"readys/internal/core"
 	"readys/internal/nn"
+	"readys/internal/obs"
 )
 
 // PPOConfig holds the hyper-parameters of the PPO trainer — the "more recent
@@ -62,6 +63,11 @@ type PPOTrainer struct {
 	Problem core.Problem
 	Cfg     PPOConfig
 
+	// Telemetry, if non-nil, receives one EpisodeStats JSON line per rollout
+	// episode (emitted after the iteration's optimisation passes, so the
+	// loss fields are populated). Attaching it never alters training.
+	Telemetry *obs.JSONL
+
 	opt      *nn.Adam
 	baseline float64
 	rng      *rand.Rand
@@ -83,14 +89,19 @@ func NewPPOTrainer(agent *core.Agent, problem core.Problem, cfg PPOConfig) *PPOT
 }
 
 // Run executes the PPO loop and returns a training history with one entry
-// per rollout episode.
+// per rollout episode. Episode statistics are appended and emitted after the
+// iteration's optimisation passes, so the loss fields carry the batch-mean
+// losses of the final epoch. A nil progress callback and a nil Telemetry
+// sink are both fine (see emitEpisode).
 func (t *PPOTrainer) Run(progress func(EpisodeStats)) (History, error) {
 	hist := History{BaselineMakespan: t.baseline}
 	params := t.Agent.Params()
+	params.ZeroGrad()
 	episode := 0
 	for it := 0; it < t.Cfg.Iterations; it++ {
 		// Collect a batch of rollouts under the current ("old") policy.
 		var batch []ppoSample
+		var pending []EpisodeStats
 		for e := 0; e < t.Cfg.EpisodesPerIter; e++ {
 			pol := core.NewTrainingPolicy(t.Agent, t.rng)
 			res, err := t.Problem.Simulate(pol, t.rng)
@@ -110,16 +121,13 @@ func (t *PPOTrainer) Run(progress func(EpisodeStats)) (History, error) {
 					advantage: target - vOld,
 				})
 			}
-			stat := EpisodeStats{Episode: episode, Makespan: res.Makespan, Reward: reward, Entropy: pol.MeanEntropy()}
-			hist.Episodes = append(hist.Episodes, stat)
-			if progress != nil {
-				progress(stat)
-			}
+			pending = append(pending, EpisodeStats{Episode: episode, Makespan: res.Makespan, Reward: reward, Entropy: pol.MeanEntropy()})
 			episode++
 		}
 		// Optimise the clipped surrogate for several epochs.
+		var epochTotal, epochPolicy, epochValue, gradNorm float64
 		for ep := 0; ep < t.Cfg.Epochs; ep++ {
-			params.ZeroGrad()
+			epochTotal, epochPolicy, epochValue = 0, 0, 0
 			scale := 1.0 / float64(len(batch))
 			for _, s := range batch {
 				fw := t.Agent.Forward(s.state)
@@ -145,14 +153,25 @@ func (t *PPOTrainer) Run(progress func(EpisodeStats)) (History, error) {
 				loss := tp.Sub(tp.Add(policyLoss, valueLoss), tp.Scale(entropy, t.Cfg.EntropyBeta))
 				loss = tp.Scale(loss, scale)
 				tp.Backward(loss)
+				epochTotal += autograd.Scalar(loss)
+				epochPolicy += autograd.Scalar(policyLoss) * scale
+				epochValue += autograd.Scalar(valueLoss) * scale
 				fw.Binding.Flush()
 			}
-			if t.Cfg.ClipNorm > 0 {
-				params.ClipGradNorm(t.Cfg.ClipNorm)
-			}
-			t.opt.Step(params)
+			gradNorm = applyUpdate(params, t.opt, t.Cfg.ClipNorm)
 		}
-		params.ZeroGrad()
+		for i, st := range pending {
+			st.Loss = epochTotal
+			st.PolicyLoss = epochPolicy
+			st.ValueLoss = epochValue
+			if i == len(pending)-1 {
+				st.GradNorm = gradNorm
+			}
+			hist.Episodes = append(hist.Episodes, st)
+			if err := emitEpisode(t.Telemetry, progress, st); err != nil {
+				return hist, err
+			}
+		}
 	}
 	return hist, nil
 }

@@ -1,0 +1,148 @@
+package rl
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"readys/internal/obs"
+)
+
+// runWithTelemetry trains a fresh tiny agent with an optional JSONL sink and
+// returns the history plus the raw telemetry bytes.
+func runWithTelemetry(t *testing.T, telemetry bool) (History, []byte) {
+	t.Helper()
+	tr := NewTrainer(tinyAgent(1), tinyProblem(), fastCfg(9))
+	var buf bytes.Buffer
+	if telemetry {
+		tr.Telemetry = obs.NewJSONL(&buf)
+	}
+	h, err := tr.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if telemetry {
+		if err := tr.Telemetry.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return h, buf.Bytes()
+}
+
+// TestTelemetryDoesNotAlterTraining is the determinism guarantee: the same
+// seed with and without a telemetry sink must yield an identical History.
+func TestTelemetryDoesNotAlterTraining(t *testing.T) {
+	plain, _ := runWithTelemetry(t, false)
+	traced, _ := runWithTelemetry(t, true)
+	if !reflect.DeepEqual(plain, traced) {
+		t.Fatalf("telemetry altered training:\nplain:  %+v\ntraced: %+v", plain.Episodes[len(plain.Episodes)-1], traced.Episodes[len(traced.Episodes)-1])
+	}
+}
+
+// TestTelemetryMatchesHistory asserts the JSONL stream is the History,
+// line for line — in particular the final-episode reward matches exactly.
+func TestTelemetryMatchesHistory(t *testing.T) {
+	h, data := runWithTelemetry(t, true)
+	lines, err := obs.DecodeJSONLines(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != len(h.Episodes) {
+		t.Fatalf("%d telemetry lines for %d episodes", len(lines), len(h.Episodes))
+	}
+	for i, line := range lines {
+		var st EpisodeStats
+		if err := json.Unmarshal(line, &st); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if st != h.Episodes[i] {
+			t.Fatalf("line %d diverges from history:\njsonl:   %+v\nhistory: %+v", i, st, h.Episodes[i])
+		}
+	}
+	final := h.Episodes[len(h.Episodes)-1]
+	var last EpisodeStats
+	if err := json.Unmarshal(lines[len(lines)-1], &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Reward != final.Reward {
+		t.Fatalf("final telemetry reward %v != history reward %v", last.Reward, final.Reward)
+	}
+}
+
+// TestTelemetryFieldsPopulated checks the new per-episode diagnostics: the
+// loss decomposes into its components and updates carry a gradient norm.
+func TestTelemetryFieldsPopulated(t *testing.T) {
+	cfg := fastCfg(8)
+	cfg.BatchEpisodes = 4
+	tr := NewTrainer(tinyAgent(1), tinyProblem(), cfg)
+	h, err := tr.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawGrad bool
+	for i, e := range h.Episodes {
+		if e.PolicyLoss == 0 && e.ValueLoss == 0 {
+			t.Fatalf("episode %d: loss components not recorded: %+v", i, e)
+		}
+		updateEpisode := (i+1)%cfg.BatchEpisodes == 0 || i == cfg.Episodes-1
+		if updateEpisode && e.GradNorm > 0 {
+			sawGrad = true
+		}
+		if !updateEpisode && e.GradNorm != 0 {
+			t.Fatalf("episode %d reports a gradient norm without an update: %+v", i, e)
+		}
+	}
+	if !sawGrad {
+		t.Fatal("no update episode recorded a gradient norm")
+	}
+}
+
+// TestPPOTelemetry mirrors the A2C guarantees for the PPO trainer:
+// determinism with a sink attached and a JSONL stream identical to History.
+func TestPPOTelemetry(t *testing.T) {
+	run := func(telemetry bool) (History, []byte) {
+		cfg := DefaultPPOConfig()
+		cfg.Iterations = 2
+		cfg.EpisodesPerIter = 3
+		cfg.Epochs = 2
+		tr := NewPPOTrainer(tinyAgent(1), tinyProblem(), cfg)
+		var buf bytes.Buffer
+		if telemetry {
+			tr.Telemetry = obs.NewJSONL(&buf)
+		}
+		h, err := tr.Run(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if telemetry {
+			if err := tr.Telemetry.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return h, buf.Bytes()
+	}
+	plain, _ := run(false)
+	traced, data := run(true)
+	if !reflect.DeepEqual(plain, traced) {
+		t.Fatal("telemetry altered PPO training")
+	}
+	lines, err := obs.DecodeJSONLines(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != len(traced.Episodes) {
+		t.Fatalf("%d telemetry lines for %d episodes", len(lines), len(traced.Episodes))
+	}
+	var last EpisodeStats
+	if err := json.Unmarshal(lines[len(lines)-1], &last); err != nil {
+		t.Fatal(err)
+	}
+	final := traced.Episodes[len(traced.Episodes)-1]
+	if last != final {
+		t.Fatalf("final telemetry %+v != history %+v", last, final)
+	}
+	if final.Loss == 0 && final.PolicyLoss == 0 && final.ValueLoss == 0 {
+		t.Fatalf("PPO episode stats carry no losses: %+v", final)
+	}
+}

@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+
+	"readys/internal/obs"
+	"readys/internal/sim"
+)
+
+// servePID is the pid under which the server records trace events.
+const servePID = 1
+
+// ridKey carries the per-request ID through the request context.
+type ridKey struct{}
+
+// requestID returns the ID instrument() assigned to this request (0 when the
+// request did not pass through instrument, e.g. in direct handler tests).
+func requestID(ctx context.Context) int64 {
+	id, _ := ctx.Value(ridKey{}).(int64)
+	return id
+}
+
+// tsMicros converts a wall-clock instant into trace microseconds relative to
+// server start.
+func (s *Server) tsMicros(t time.Time) float64 {
+	return float64(t.Sub(s.epoch)) / float64(time.Microsecond)
+}
+
+// span records a completed slice on the request's lane. Each request gets its
+// own tid, so its queue-wait / model-load / rollout / per-decision slices
+// render as one row in Perfetto; the ring bounds total memory.
+func (s *Server) span(name, cat string, tid int64, start time.Time, args map[string]any) {
+	s.tracer.Complete(name, cat, servePID, tid, s.tsMicros(start),
+		float64(time.Since(start))/float64(time.Microsecond), args)
+}
+
+// tracedPolicy wraps the inference policy and records one "decide" slice per
+// scheduling decision (wall-clock inference latency, not simulated time).
+type tracedPolicy struct {
+	inner sim.Policy
+	srv   *Server
+	tid   int64
+}
+
+func (p tracedPolicy) Reset(st *sim.State) { p.inner.Reset(st) }
+
+func (p tracedPolicy) Decide(st *sim.State, r int) int {
+	start := time.Now()
+	task := p.inner.Decide(st, r)
+	p.srv.span("decide", "inference", p.tid, start, map[string]any{"resource": r, "task": task})
+	return task
+}
+
+// handleTrace exports the request-span ring buffer as Chrome trace-event
+// JSON, loadable in chrome://tracing or https://ui.perfetto.dev.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, errors.New("serve: use GET"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.tracer.WriteChromeTrace(w); err != nil && s.cfg.Logger != nil {
+		s.cfg.Logger.Printf("serve: writing trace: %v", err)
+	}
+}
+
+// handleRuntime serves expvar-style runtime gauges (goroutines, heap, GC).
+// Registered only when Config.EnablePprof is set.
+func (s *Server) handleRuntime(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, errors.New("serve: use GET"))
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"goroutines":       runtime.NumGoroutine(),
+		"gomaxprocs":       runtime.GOMAXPROCS(0),
+		"heap_alloc_bytes": ms.HeapAlloc,
+		"heap_objects":     ms.HeapObjects,
+		"total_alloc":      ms.TotalAlloc,
+		"num_gc":           ms.NumGC,
+		"uptime_seconds":   time.Since(s.epoch).Seconds(),
+	})
+}
+
+// registerDebug mounts the optional profiling surface: net/http/pprof and
+// the runtime gauge endpoint. Off by default (readys-serve -pprof enables
+// it); when disabled none of these routes exist, so they 404.
+func (s *Server) registerDebug() {
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.mux.HandleFunc("/debug/runtime", s.handleRuntime)
+}
+
+// registerComponentGauges exposes registry and pool occupancy in the
+// Prometheus exposition without coupling Metrics to either component.
+func registerComponentGauges(reg *obs.Registry, registry *Registry, pool *Pool) {
+	reg.GaugeFunc("readys_model_cache_resident", "Checkpoints currently resident in the LRU registry.",
+		func() float64 { resident, _, _, _ := registry.Stats(); return float64(resident) })
+	reg.GaugeFunc("readys_model_cache_hits_total", "Model cache hits.",
+		func() float64 { _, hits, _, _ := registry.Stats(); return float64(hits) })
+	reg.GaugeFunc("readys_model_cache_misses_total", "Model cache misses.",
+		func() float64 { _, _, misses, _ := registry.Stats(); return float64(misses) })
+	reg.GaugeFunc("readys_pool_queued", "Jobs waiting in the bounded queue.",
+		func() float64 { return float64(pool.Queued()) })
+	reg.GaugeFunc("readys_pool_running", "Jobs currently executing.",
+		func() float64 { return float64(pool.Running()) })
+}

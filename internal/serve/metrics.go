@@ -1,10 +1,12 @@
 package serve
 
 import (
-	"sort"
-	"sync"
-	"sync/atomic"
+	"io"
+	"runtime"
+	"strconv"
 	"time"
+
+	"readys/internal/obs"
 )
 
 // latencyBucketsMS are the upper bounds (in milliseconds) of the latency
@@ -12,116 +14,65 @@ import (
 // (sub-millisecond model access, tens of ms of simulation on larger DAGs).
 var latencyBucketsMS = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
 
-// histogram is a fixed-bucket latency histogram. Cheap enough to sit on the
-// request path: one mutex-guarded slot increment per observation.
-type histogram struct {
-	mu     sync.Mutex
-	counts []uint64 // len(latencyBucketsMS)+1, last bucket is +Inf
-	sum    float64
-	n      uint64
-}
-
-func newHistogram() *histogram {
-	return &histogram{counts: make([]uint64, len(latencyBucketsMS)+1)}
-}
-
-func (h *histogram) observe(ms float64) {
-	i := sort.SearchFloat64s(latencyBucketsMS, ms)
-	h.mu.Lock()
-	h.counts[i]++
-	h.sum += ms
-	h.n++
-	h.mu.Unlock()
-}
-
-// snapshot returns the histogram as a JSON-friendly map: cumulative bucket
-// counts keyed by "le_<bound>", plus count/sum/mean.
-func (h *histogram) snapshot() map[string]any {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	buckets := make(map[string]uint64, len(h.counts))
-	var cum uint64
-	for i, bound := range latencyBucketsMS {
-		cum += h.counts[i]
-		buckets[leLabel(bound)] = cum
-	}
-	cum += h.counts[len(latencyBucketsMS)]
-	buckets["le_inf"] = cum
-	out := map[string]any{
-		"count":      h.n,
-		"sum_ms":     h.sum,
-		"buckets_ms": buckets,
-	}
-	if h.n > 0 {
-		out["mean_ms"] = h.sum / float64(h.n)
-	}
-	return out
-}
-
-func leLabel(bound float64) string {
-	// Bounds are integral milliseconds; print without a decimal point.
-	return "le_" + itoa(int64(bound))
-}
-
-func itoa(v int64) string {
-	if v == 0 {
-		return "0"
-	}
-	var buf [20]byte
-	i := len(buf)
-	for v > 0 {
-		i--
-		buf[i] = byte('0' + v%10)
-		v /= 10
-	}
-	return string(buf[i:])
-}
-
-// endpointStats tracks one endpoint's traffic.
-type endpointStats struct {
-	requests atomic.Uint64
-	errors   atomic.Uint64
-	latency  *histogram
-}
-
-// Metrics is the service's expvar-style counter set, served as JSON on
-// GET /metrics. All methods are safe for concurrent use.
+// Metrics is the service's counter set, backed by the shared obs registry.
+// GET /metrics serves it as JSON (the historical expvar-style tree) or, with
+// ?format=prometheus, as Prometheus text exposition. All methods are safe
+// for concurrent use.
 type Metrics struct {
 	start time.Time
+	reg   *obs.Registry
 
-	mu        sync.Mutex
-	endpoints map[string]*endpointStats
+	requests *obs.CounterVec
+	errors   *obs.CounterVec
+	latency  *obs.HistogramVec
 
-	inflight  atomic.Int64
-	rejected  atomic.Uint64 // 503s from a full queue
-	timeouts  atomic.Uint64 // requests that hit the server-side deadline
-	scheduled atomic.Uint64 // successfully answered schedule requests
+	inflight  *obs.Gauge
+	rejected  *obs.Counter // 503s from a full queue
+	timeouts  *obs.Counter // requests that hit the server-side deadline
+	scheduled *obs.Counter // successfully answered schedule requests
 }
 
-// NewMetrics returns an empty metric set anchored at now.
+// NewMetrics returns an empty metric set anchored at now. Runtime gauges
+// (uptime, goroutines, heap) are registered for the Prometheus exposition.
 func NewMetrics() *Metrics {
-	return &Metrics{start: time.Now(), endpoints: make(map[string]*endpointStats)}
+	reg := obs.NewRegistry()
+	m := &Metrics{
+		start:     time.Now(),
+		reg:       reg,
+		requests:  reg.CounterVec("readys_http_requests_total", "HTTP requests by endpoint.", "endpoint"),
+		errors:    reg.CounterVec("readys_http_errors_total", "HTTP responses with status >= 400 by endpoint.", "endpoint"),
+		latency:   reg.HistogramVec("readys_http_latency_ms", "Request latency in milliseconds by endpoint.", latencyBucketsMS, "endpoint"),
+		inflight:  reg.Gauge("readys_http_inflight", "Requests currently being handled."),
+		rejected:  reg.Counter("readys_rejected_busy_total", "Backpressure rejections from a full queue (503)."),
+		timeouts:  reg.Counter("readys_request_timeouts_total", "Requests that exceeded the server-side deadline."),
+		scheduled: reg.Counter("readys_schedules_answered_total", "Successfully answered schedule requests."),
+	}
+	reg.GaugeFunc("readys_uptime_seconds", "Seconds since the metric set was created.",
+		func() float64 { return time.Since(m.start).Seconds() })
+	reg.GaugeFunc("readys_goroutines", "Current number of goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("readys_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+	return m
 }
 
-func (m *Metrics) endpoint(name string) *endpointStats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	es, ok := m.endpoints[name]
-	if !ok {
-		es = &endpointStats{latency: newHistogram()}
-		m.endpoints[name] = es
-	}
-	return es
-}
+// Registry exposes the underlying obs registry so the server can attach
+// component gauges (model cache, pool depth) without Metrics depending on
+// those components.
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
 
 // Observe records one finished request against an endpoint.
 func (m *Metrics) Observe(endpoint string, d time.Duration, isError bool) {
-	es := m.endpoint(endpoint)
-	es.requests.Add(1)
+	m.requests.With(endpoint).Inc()
+	e := m.errors.With(endpoint) // materialise the series even at zero
 	if isError {
-		es.errors.Add(1)
+		e.Inc()
 	}
-	es.latency.observe(float64(d) / float64(time.Millisecond))
+	m.latency.With(endpoint).Observe(float64(d) / float64(time.Millisecond))
 }
 
 // IncInflight / DecInflight track requests currently being handled.
@@ -129,40 +80,38 @@ func (m *Metrics) IncInflight() { m.inflight.Add(1) }
 func (m *Metrics) DecInflight() { m.inflight.Add(-1) }
 
 // Rejected counts a backpressure rejection (full queue).
-func (m *Metrics) Rejected() { m.rejected.Add(1) }
+func (m *Metrics) Rejected() { m.rejected.Inc() }
 
 // Timeout counts a request that exceeded the server-side deadline.
-func (m *Metrics) Timeout() { m.timeouts.Add(1) }
+func (m *Metrics) Timeout() { m.timeouts.Inc() }
 
 // Scheduled counts a successfully served schedule request.
-func (m *Metrics) Scheduled() { m.scheduled.Add(1) }
+func (m *Metrics) Scheduled() { m.scheduled.Inc() }
 
-// Snapshot renders every counter as a JSON-encodable tree. The registry and
-// pool gauges are passed in by the server so Metrics stays free of
-// dependencies on the other components.
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (served on GET /metrics?format=prometheus).
+func (m *Metrics) WritePrometheus(w io.Writer) error { return m.reg.WriteText(w) }
+
+// Snapshot renders every counter as a JSON-encodable tree — the same shape
+// the endpoint served before the obs refactor, so dashboards keep working.
+// The registry and pool gauges are passed in by the server so Metrics stays
+// free of dependencies on the other components.
 func (m *Metrics) Snapshot(registry *Registry, pool *Pool) map[string]any {
 	out := map[string]any{
 		"uptime_seconds":     time.Since(m.start).Seconds(),
-		"inflight":           m.inflight.Load(),
-		"rejected_busy":      m.rejected.Load(),
-		"request_timeouts":   m.timeouts.Load(),
-		"schedules_answered": m.scheduled.Load(),
+		"inflight":           m.inflight.Value(),
+		"rejected_busy":      m.rejected.Value(),
+		"request_timeouts":   m.timeouts.Value(),
+		"schedules_answered": m.scheduled.Value(),
 	}
 
-	m.mu.Lock()
-	names := make([]string, 0, len(m.endpoints))
-	for name := range m.endpoints {
-		names = append(names, name)
-	}
-	m.mu.Unlock()
-	sort.Strings(names)
-	eps := make(map[string]any, len(names))
-	for _, name := range names {
-		es := m.endpoint(name)
+	eps := make(map[string]any)
+	for _, labels := range m.requests.Labels() {
+		name := labels[0]
 		eps[name] = map[string]any{
-			"requests": es.requests.Load(),
-			"errors":   es.errors.Load(),
-			"latency":  es.latency.snapshot(),
+			"requests": m.requests.With(name).Value(),
+			"errors":   m.errors.With(name).Value(),
+			"latency":  latencyTree(m.latency.With(name).Snapshot()),
 		}
 	}
 	out["endpoints"] = eps
@@ -186,6 +135,30 @@ func (m *Metrics) Snapshot(registry *Registry, pool *Pool) map[string]any {
 			"queued":  pool.Queued(),
 			"running": pool.Running(),
 		}
+	}
+	return out
+}
+
+// latencyTree converts a histogram snapshot into the JSON-friendly map the
+// endpoint has always served: cumulative bucket counts keyed by
+// "le_<bound>", plus count/sum/mean.
+func latencyTree(s obs.HistogramSnapshot) map[string]any {
+	buckets := make(map[string]uint64, len(s.Counts))
+	var cum uint64
+	for i, bound := range s.Bounds {
+		cum += s.Counts[i]
+		// Bounds are integral milliseconds; print without a decimal point.
+		buckets["le_"+strconv.FormatInt(int64(bound), 10)] = cum
+	}
+	cum += s.Counts[len(s.Bounds)]
+	buckets["le_inf"] = cum
+	out := map[string]any{
+		"count":      s.Count,
+		"sum_ms":     s.Sum,
+		"buckets_ms": buckets,
+	}
+	if s.Count > 0 {
+		out["mean_ms"] = s.Sum / float64(s.Count)
 	}
 	return out
 }

@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"readys/internal/obs"
+	"readys/internal/taskgraph"
+)
+
+// TestDebugRoutes404WhenDisabled pins the default posture: without
+// EnablePprof the profiling surface does not exist.
+func TestDebugRoutes404WhenDisabled(t *testing.T) {
+	s := newTestServer(t)
+	h := s.Handler()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/profile", "/debug/runtime"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != http.StatusNotFound {
+			t.Errorf("GET %s with pprof disabled -> %d, want 404", path, rec.Code)
+		}
+	}
+}
+
+func TestDebugRoutesEnabled(t *testing.T) {
+	dir := t.TempDir()
+	writeTestModel(t, dir, testSpec(taskgraph.Cholesky, 4, 1, 1))
+	s := New(Config{ModelsDir: dir, EnablePprof: true})
+	h := s.Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/ -> %d, want 200", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/runtime", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /debug/runtime -> %d", rec.Code)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &vars); err != nil {
+		t.Fatal(err)
+	}
+	if vars["goroutines"].(float64) < 1 || vars["heap_alloc_bytes"].(float64) <= 0 {
+		t.Fatalf("runtime gauges implausible: %v", vars)
+	}
+}
+
+// TestMetricsPrometheusFormat checks the text exposition: readys_-prefixed
+// families with endpoint labels, plus runtime and component gauges.
+func TestMetricsPrometheusFormat(t *testing.T) {
+	s := newTestServer(t)
+	h := s.Handler()
+	rec, _ := postSchedule(t, h, ScheduleRequest{Kind: "cholesky", T: 4, CPUs: 1, GPUs: 1})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("schedule -> %d: %s", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics?format=prometheus", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics?format=prometheus -> %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		`readys_http_requests_total{endpoint="schedule"} 1`,
+		`readys_http_errors_total{endpoint="schedule"} 0`,
+		`readys_http_latency_ms_bucket{endpoint="schedule",le="+Inf"} 1`,
+		"readys_schedules_answered_total 1",
+		"readys_goroutines ",
+		"readys_heap_alloc_bytes ",
+		"readys_model_cache_resident 1",
+		"readys_pool_queued 0",
+		"# TYPE readys_http_latency_ms histogram",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Log(body)
+	}
+}
+
+// TestServeTraceExport drives one schedule request and asserts the ring
+// exports a loadable Chrome trace containing the request's spans — including
+// per-decision inference slices — all tagged with the request ID from the
+// X-Request-ID header.
+func TestServeTraceExport(t *testing.T) {
+	s := newTestServer(t)
+	h := s.Handler()
+	rec, _ := postSchedule(t, h, ScheduleRequest{Kind: "cholesky", T: 4, CPUs: 1, GPUs: 1})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("schedule -> %d: %s", rec.Code, rec.Body.String())
+	}
+	rid := rec.Header().Get("X-Request-ID")
+	if rid == "" {
+		t.Fatal("no X-Request-ID header")
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/trace", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("debug/trace -> %d", rec.Code)
+	}
+	data := rec.Body.Bytes()
+	if err := obs.ValidateChromeTrace(data); err != nil {
+		t.Fatalf("trace invalid: %v\n%.400s", err, data)
+	}
+	var doc struct {
+		TraceEvents []obs.Event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	spans := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		spans[e.Name]++
+	}
+	for _, want := range []string{"request", "queue_wait", "model_load", "rollout", "references", "decide"} {
+		if spans[want] == 0 {
+			t.Errorf("trace has no %q span (got %v)", want, spans)
+		}
+	}
+	if spans["decide"] < 2 {
+		t.Errorf("expected per-decision spans, got %d", spans["decide"])
+	}
+}

@@ -9,10 +9,13 @@ import (
 	"math/rand"
 	"net/http"
 	"runtime"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"readys/internal/core"
 	"readys/internal/exp"
+	"readys/internal/obs"
 	"readys/internal/platform"
 	"readys/internal/sched"
 	"readys/internal/sim"
@@ -34,6 +37,14 @@ type Config struct {
 	MaxBodyBytes int64
 	// Logger receives request-level diagnostics; nil disables logging.
 	Logger *log.Logger
+	// EnablePprof mounts net/http/pprof and GET /debug/runtime. Off by
+	// default: profiling endpoints leak operational detail, so they must be
+	// asked for (readys-serve -pprof).
+	EnablePprof bool
+	// TraceEvents is the request-span ring capacity (<= 0 picks the obs
+	// default). Only the most recent window is kept, so tracing is always on
+	// and bounded.
+	TraceEvents int
 }
 
 // DefaultConfig returns production-shaped defaults sized to the host.
@@ -56,6 +67,12 @@ type Server struct {
 	pool     *Pool
 	metrics  *Metrics
 	mux      *http.ServeMux
+
+	// epoch anchors trace timestamps; tracer records per-request spans into
+	// a bounded ring; reqSeq hands out request IDs.
+	epoch  time.Time
+	tracer *obs.Tracer
+	reqSeq atomic.Int64
 }
 
 // New builds a server from the config (zero fields take defaults).
@@ -87,11 +104,19 @@ func New(cfg Config) *Server {
 		pool:     NewPool(cfg.Workers, cfg.Queue),
 		metrics:  NewMetrics(),
 		mux:      http.NewServeMux(),
+		epoch:    time.Now(),
+		tracer:   obs.NewTracer(cfg.TraceEvents),
 	}
+	s.tracer.NameProcess(servePID, "readys-serve")
+	registerComponentGauges(s.metrics.Registry(), s.registry, s.pool)
 	s.mux.HandleFunc("/v1/schedule", s.instrument("schedule", s.handleSchedule))
 	s.mux.HandleFunc("/v1/models", s.instrument("models", s.handleModels))
 	s.mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.HandleFunc("/debug/trace", s.handleTrace)
+	if cfg.EnablePprof {
+		s.registerDebug()
+	}
 	return s
 }
 
@@ -121,16 +146,24 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with the in-flight gauge and per-endpoint
-// request/error counters and latency histogram.
+// instrument wraps a handler with the in-flight gauge, per-endpoint
+// request/error counters and latency histogram, a request ID (echoed in the
+// X-Request-ID response header) and an overall request span on the request's
+// trace lane.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		id := s.reqSeq.Add(1)
+		w.Header().Set("X-Request-ID", strconv.FormatInt(id, 10))
+		r = r.WithContext(context.WithValue(r.Context(), ridKey{}, id))
 		s.metrics.IncInflight()
 		defer s.metrics.DecInflight()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		h(sw, r)
 		s.metrics.Observe(name, time.Since(start), sw.status >= 400)
+		s.span("request", name, id, start, map[string]any{
+			"request_id": id, "endpoint": name, "status": sw.status,
+		})
 	}
 }
 
@@ -160,6 +193,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		s.writeError(w, http.StatusMethodNotAllowed, errors.New("serve: use GET"))
+		return
+	}
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := s.metrics.WritePrometheus(w); err != nil && s.cfg.Logger != nil {
+			s.cfg.Logger.Printf("serve: writing prometheus metrics: %v", err)
+		}
 		return
 	}
 	s.writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.registry, s.pool))
@@ -200,8 +240,11 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	kind, _ := req.kind() // validated above
+	rid := requestID(r.Context())
 
+	acquireStart := time.Now()
 	lease, cacheHit, err := s.registry.Acquire(kind, req.ModelT(), req.CPUs, req.GPUs)
+	s.span("model_load", "registry", rid, acquireStart, map[string]any{"cache_hit": cacheHit})
 	if err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, errModelNotFound) {
@@ -225,9 +268,11 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		resp   ScheduleResponse
 		runErr error
 	)
+	enqueued := time.Now()
 	err = s.pool.Do(ctx, func() {
+		s.span("queue_wait", "pool", rid, enqueued, nil)
 		defer lease.Release()
-		resp, runErr = s.runSchedule(&req, prob, lease, cacheHit)
+		resp, runErr = s.runSchedule(&req, prob, lease, cacheHit, rid)
 	})
 	switch {
 	case errors.Is(err, ErrBusy):
@@ -256,9 +301,13 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 // runSchedule executes one policy rollout plus the two baseline references
 // on a worker goroutine. The leased agent is exclusively ours for the
 // duration, so the forward passes share no mutable state with other workers.
-func (s *Server) runSchedule(req *ScheduleRequest, prob core.Problem, lease *Lease, cacheHit bool) (ScheduleResponse, error) {
+// The rollout, each inference decision and the reference schedules are
+// recorded as spans on the request's trace lane.
+func (s *Server) runSchedule(req *ScheduleRequest, prob core.Problem, lease *Lease, cacheHit bool, rid int64) (ScheduleResponse, error) {
 	start := time.Now()
-	res, err := prob.Simulate(core.NewPolicy(lease.Agent()), rand.New(rand.NewSource(req.Seed)))
+	pol := tracedPolicy{inner: core.NewPolicy(lease.Agent()), srv: s, tid: rid}
+	res, err := prob.Simulate(pol, rand.New(rand.NewSource(req.Seed)))
+	s.span("rollout", "sim", rid, start, map[string]any{"tasks": prob.Graph.NumTasks(), "decisions": res.Decisions})
 	if err != nil {
 		return ScheduleResponse{}, fmt.Errorf("serve: rollout: %w", err)
 	}
@@ -267,8 +316,10 @@ func (s *Server) runSchedule(req *ScheduleRequest, prob core.Problem, lease *Lea
 	if err := sim.ValidateResult(prob.Graph, prob.Platform.Size(), res); err != nil {
 		return ScheduleResponse{}, fmt.Errorf("serve: produced invalid schedule: %w", err)
 	}
+	refStart := time.Now()
 	heft := sched.HEFT(prob.Graph, prob.Platform, prob.Timing).Makespan
 	mctRes, err := prob.Simulate(sched.MCTPolicy{}, rand.New(rand.NewSource(req.Seed)))
+	s.span("references", "sim", rid, refStart, nil)
 	if err != nil {
 		return ScheduleResponse{}, fmt.Errorf("serve: MCT reference: %w", err)
 	}

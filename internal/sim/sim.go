@@ -19,6 +19,7 @@ import (
 	"math"
 	"math/rand"
 
+	"readys/internal/obs"
 	"readys/internal/platform"
 	"readys/internal/taskgraph"
 )
@@ -71,6 +72,10 @@ type State struct {
 	// cannot advance unless someone starts a task. Policies that support
 	// the ∅ action must not idle when MustAct is true.
 	MustAct bool
+
+	// tracer, when set via Options.Tracer, receives task-start/task-end
+	// events per resource lane (and comm transfers). Invisible to policies.
+	tracer *obs.Tracer
 }
 
 // NumRunning returns the number of tasks currently executing.
@@ -163,6 +168,12 @@ type Options struct {
 	// the state, the resource asked, and the chosen task (or NoTask). Used
 	// by the RL trainer to record trajectories.
 	OnDecision func(s *State, resource, task int)
+	// Tracer, if non-nil, records task-start/task-end events per resource
+	// lane (and, with a communication model, per-transfer slices) that
+	// export as a Chrome trace (obs.Tracer.WriteChromeTrace). Tracing never
+	// consumes randomness, so a traced run is bit-identical to an untraced
+	// one.
+	Tracer *obs.Tracer
 }
 
 // ErrDeadlock is returned when every resource idles while no task is running
@@ -191,6 +202,10 @@ func Simulate(g *taskgraph.Graph, plat platform.Platform, timing platform.Timing
 		BusyUntil:   make([]float64, plat.Size()),
 		RunningTask: make([]int, plat.Size()),
 		PredLeft:    make([]int, n),
+		tracer:      opt.Tracer,
+	}
+	if s.tracer != nil {
+		setupTrace(s)
 	}
 	for i := range s.AssignedTo {
 		s.AssignedTo[i] = -1
@@ -337,6 +352,9 @@ func startTask(s *State, task, r int, rng *rand.Rand) error {
 	s.BusyUntil[r] = s.Now + dur
 	s.Ready = removeSorted(s.Ready, task)
 	s.Running = insertSorted(s.Running, task)
+	if s.tracer != nil {
+		traceStart(s, task, r)
+	}
 	return nil
 }
 
@@ -363,6 +381,9 @@ func completeNext(s *State) {
 }
 
 func finishTask(s *State, t int) {
+	if s.tracer != nil {
+		traceEnd(s, t)
+	}
 	s.Done[t] = true
 	s.NumDone++
 	r := s.AssignedTo[t]
