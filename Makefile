@@ -1,18 +1,20 @@
 # Pre-merge checks for the READYS reproduction.
 #
-#   make check     — everything a PR must pass: build, vet, tests, race tests,
-#                    observability smoke test
-#   make race      — just the race-detector runs (serving + agent core)
-#   make obs-smoke — end-to-end telemetry/trace pipeline check
-#   make bench     — serving-throughput benchmark
-#   make serve     — run the scheduling daemon against ./models
+#   make check       — everything a PR must pass: build, vet, tests, race
+#                      tests, observability smoke test, bench smoke test
+#   make race        — just the race-detector runs (serving, agent core, RL)
+#   make obs-smoke   — end-to-end telemetry/trace pipeline check
+#   make bench       — hot-path benchmark snapshot (writes BENCH_<rev>.json)
+#   make bench-smoke — fast readys-bench sanity run (part of make check)
+#   make bench-serve — serving-throughput benchmark
+#   make serve       — run the scheduling daemon against ./models
 
 GO ?= go
 OBS_TMP ?= /tmp/readys-obs-smoke
 
-.PHONY: check build vet test race obs-smoke bench serve
+.PHONY: check build vet test race obs-smoke bench bench-smoke bench-serve serve
 
-check: build vet test race obs-smoke
+check: build vet test race obs-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -24,9 +26,10 @@ test:
 	$(GO) test ./...
 
 # Concurrency-sensitive packages run under the race detector: internal/serve
-# (registry, pool, handlers) and internal/core (shared-agent inference).
+# (registry, pool, handlers), internal/core (shared-agent inference), and
+# internal/rl (parallel batch rollouts).
 race:
-	$(GO) test -race ./internal/serve/... ./internal/core/...
+	$(GO) test -race ./internal/serve/... ./internal/core/... ./internal/rl/...
 
 # End-to-end observability check: train a tiny agent with -telemetry, simulate
 # one DAG with -trace, then assert both artifacts are valid and non-empty.
@@ -40,7 +43,19 @@ obs-smoke:
 		-trace $(OBS_TMP)/trace.json
 	rm -rf $(OBS_TMP)
 
+# Full perf snapshot: SpMM vs dense propagation, decisions/sec, training
+# episodes/sec (sparse vs DenseProp ablation, workers 1 vs GOMAXPROCS).
+# Writes BENCH_<rev>.json for committing alongside the code it measures.
 bench:
+	$(GO) run ./cmd/readys-bench
+
+# Smoke variant of the same binary: tiny sizes, seconds not minutes, output
+# discarded. Guards against the benchmark harness itself rotting.
+bench-smoke:
+	$(GO) run ./cmd/readys-bench -quick -out /tmp/readys-bench-smoke.json
+	rm -f /tmp/readys-bench-smoke.json
+
+bench-serve:
 	$(GO) test -bench BenchmarkServeScheduleThroughput -benchtime 2s -run '^$$' ./internal/serve/
 
 serve:

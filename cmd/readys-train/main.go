@@ -38,11 +38,12 @@ func main() {
 		seed      = flag.Int64("seed", 1, "training seed")
 		quiet     = flag.Bool("quiet", false, "suppress per-interval progress")
 		telemetry = flag.String("telemetry", "", "write per-episode training stats as JSON lines to this file (with -all, one file per agent named after it)")
+		workers   = flag.Int("workers", 0, "concurrent episode rollouts per batch (0 = GOMAXPROCS); results are identical at any value")
 	)
 	flag.Parse()
 
 	if *all {
-		if err := trainAll(*out, *quiet, *telemetry); err != nil {
+		if err := trainAll(*out, *quiet, *telemetry, *workers); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -58,12 +59,12 @@ func main() {
 	if eps == 0 {
 		eps = exp.EpisodesFor(kind, *tiles)
 	}
-	if err := trainOne(spec, *out, eps, *quiet, *telemetry); err != nil {
+	if err := trainOne(spec, *out, eps, *quiet, *telemetry, *workers); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func trainOne(spec exp.AgentSpec, dir string, episodes int, quiet bool, telemetryPath string) error {
+func trainOne(spec exp.AgentSpec, dir string, episodes int, quiet bool, telemetryPath string, workers int) error {
 	if _, err := os.Stat(spec.ModelPath(dir)); err == nil {
 		fmt.Printf("%s: checkpoint exists, skipping\n", spec.Name())
 		return nil
@@ -76,6 +77,7 @@ func trainOne(spec exp.AgentSpec, dir string, episodes int, quiet bool, telemetr
 	}
 	opt := exp.TrainOptions{
 		Episodes: episodes,
+		Workers:  workers,
 		Progress: func(st rl.EpisodeStats) {
 			if !quiet && st.Episode%interval == 0 {
 				fmt.Printf("  ep %5d  reward %+.3f  makespan %8.1f  entropy %.3f\n",
@@ -111,7 +113,7 @@ func trainOne(spec exp.AgentSpec, dir string, episodes int, quiet bool, telemetr
 // 2 CPUs + 2 GPUs) and of the transfer experiments of Figures 4-6 (Cholesky
 // T∈{4,6,8} on 4 CPUs, 2 CPUs + 2 GPUs and 4 GPUs). Existing checkpoints are
 // skipped, so the command is resumable.
-func trainAll(dir string, quiet bool, telemetryPath string) error {
+func trainAll(dir string, quiet bool, telemetryPath string, workers int) error {
 	var specs []exp.AgentSpec
 	for _, kind := range []taskgraph.Kind{taskgraph.Cholesky, taskgraph.LU, taskgraph.QR} {
 		for _, T := range []int{2, 4, 8} {
@@ -129,7 +131,7 @@ func trainAll(dir string, quiet bool, telemetryPath string) error {
 			continue
 		}
 		seen[spec.Name()] = true
-		if err := trainOne(spec, dir, exp.EpisodesFor(spec.Kind, spec.T), quiet, perAgentTelemetry(telemetryPath, spec)); err != nil {
+		if err := trainOne(spec, dir, exp.EpisodesFor(spec.Kind, spec.T), quiet, perAgentTelemetry(telemetryPath, spec), workers); err != nil {
 			return err
 		}
 	}

@@ -5,10 +5,18 @@
 // gradient of a scalar (1x1) output and replays the tape in reverse,
 // accumulating gradients into every node that requires them. The op set is
 // exactly what the READYS policy/value network of the paper (Fig. 2) and the
-// A2C loss need: matrix products, bias broadcasts, ReLU/Tanh/Exp
-// nonlinearities, node-set pooling (mean/max over rows), row gathering for
-// ready-task selection, concatenation, log-softmax, and scalar arithmetic
-// (scalars are represented as 1x1 matrices).
+// A2C loss need: matrix products (dense and sparse-propagation SpMM),
+// bias broadcasts, ReLU/Tanh/Exp nonlinearities, node-set pooling (mean/max
+// over rows), row gathering for ready-task selection, concatenation,
+// log-softmax, and scalar arithmetic (scalars are represented as 1x1
+// matrices).
+//
+// Every intermediate the tape creates — op outputs and gradient accumulators
+// — is drawn from the size-bucketed buffer pool in internal/tensor and
+// tracked on a tape-scoped free list. Release returns the whole list to the
+// pool in one sweep, so steady-state training and serving recycle their
+// scratch memory instead of exercising the allocator on every decision.
+// Caller-provided matrices (Const/Var inputs) are never pooled or released.
 //
 // Gradient correctness for every op is property-tested against central
 // finite differences in autograd_test.go.
@@ -37,15 +45,15 @@ type Node struct {
 // RequiresGrad reports whether gradients flow into this node.
 func (n *Node) RequiresGrad() bool { return n.requiresGrad }
 
-// accum adds g into n.Grad, allocating it on first use. It is a no-op for
-// nodes that do not require gradients, so op backward functions can call it
-// unconditionally.
+// accum adds g into n.Grad, allocating it from the buffer pool on first use.
+// It is a no-op for nodes that do not require gradients, so op backward
+// functions can call it unconditionally.
 func (n *Node) accum(g *tensor.Matrix) {
 	if !n.requiresGrad {
 		return
 	}
 	if n.Grad == nil {
-		n.Grad = tensor.New(n.Value.Rows, n.Value.Cols)
+		n.Grad = tensor.GetPooled(n.Value.Rows, n.Value.Cols)
 	}
 	tensor.AddInPlace(n.Grad, g)
 }
@@ -54,6 +62,11 @@ func (n *Node) accum(g *tensor.Matrix) {
 // concurrent use; create one tape per goroutine.
 type Tape struct {
 	nodes []*Node
+	// owned lists the matrices this tape allocated from the buffer pool
+	// (op output values); Release returns them together with every node's
+	// gradient accumulator.
+	owned    []*tensor.Matrix
+	released bool
 }
 
 // NewTape returns an empty tape.
@@ -64,9 +77,49 @@ func NewTape() *Tape { return &Tape{} }
 func (t *Tape) Len() int { return len(t.nodes) }
 
 func (t *Tape) push(n *Node) *Node {
+	if t.released {
+		panic("autograd: use of a released tape")
+	}
 	t.nodes = append(t.nodes, n)
 	return n
 }
+
+// alloc draws a zeroed rows x cols matrix from the buffer pool and records it
+// on the tape's free list.
+func (t *Tape) alloc(rows, cols int) *tensor.Matrix {
+	m := tensor.GetPooled(rows, cols)
+	t.owned = append(t.owned, m)
+	return m
+}
+
+// Release resets the tape and returns every pooled intermediate — op output
+// values and gradient accumulators — to the buffer pool. The tape and every
+// node created on it must not be used afterwards: values read from nodes
+// (sampled actions, scalar losses) must be extracted before releasing.
+// Release is idempotent; a tape that is never released is simply collected by
+// the GC as before.
+func (t *Tape) Release() {
+	if t.released {
+		return
+	}
+	t.released = true
+	for _, n := range t.nodes {
+		if n.Grad != nil {
+			tensor.PutPooled(n.Grad)
+			n.Grad = nil
+		}
+		n.backward = nil
+		n.Value = nil
+	}
+	for _, m := range t.owned {
+		tensor.PutPooled(m)
+	}
+	t.nodes = nil
+	t.owned = nil
+}
+
+// Released reports whether Release has been called.
+func (t *Tape) Released() bool { return t.released }
 
 // Const records a node through which no gradient flows (inputs, masks).
 // The matrix is used as-is and must not be mutated afterwards.
@@ -89,7 +142,10 @@ func (t *Tape) Backward(root *Node) {
 	if !root.requiresGrad {
 		return // nothing on the tape influences the root
 	}
-	root.accum(tensor.Full(1, 1, 1))
+	seed := tensor.GetPooled(1, 1)
+	seed.Data[0] = 1
+	root.accum(seed)
+	tensor.PutPooled(seed)
 	for i := len(t.nodes) - 1; i >= 0; i-- {
 		n := t.nodes[i]
 		if n.backward != nil && n.Grad != nil {
@@ -107,17 +163,50 @@ func anyGrad(ns ...*Node) bool {
 	return false
 }
 
+// scratch draws a pooled matrix for a backward-pass temporary; pair with
+// tensor.PutPooled as soon as the value has been accumulated.
+func scratch(rows, cols int) *tensor.Matrix {
+	return tensor.GetPooled(rows, cols)
+}
+
 // MatMul records c = a*b.
 func (t *Tape) MatMul(a, b *Node) *Node {
-	out := &Node{Value: tensor.MatMul(a.Value, b.Value), requiresGrad: anyGrad(a, b)}
+	val := t.alloc(a.Value.Rows, b.Value.Cols)
+	tensor.MatMulInto(a.Value, b.Value, val)
+	out := &Node{Value: val, requiresGrad: anyGrad(a, b)}
 	if out.requiresGrad {
 		out.backward = func() {
 			if a.requiresGrad {
-				a.accum(tensor.MatMulTransB(out.Grad, b.Value))
+				g := scratch(a.Value.Rows, a.Value.Cols)
+				tensor.MatMulTransBInto(out.Grad, b.Value, g)
+				a.accum(g)
+				tensor.PutPooled(g)
 			}
 			if b.requiresGrad {
-				b.accum(tensor.MatMulTransA(a.Value, out.Grad))
+				g := scratch(b.Value.Rows, b.Value.Cols)
+				tensor.MatMulTransAInto(a.Value, out.Grad, g)
+				b.accum(g)
+				tensor.PutPooled(g)
 			}
+		}
+	}
+	return t.push(out)
+}
+
+// SpMM records c = a*b for a constant sparse operand a (the GCN propagation
+// operator): the graph topology carries no gradient, so only the dense
+// operand b receives one — ∂c/∂b applied to an upstream gradient G is aᵀG.
+// Forward cost is O(nnz(a)·b.Cols) instead of the dense O(n²·b.Cols).
+func (t *Tape) SpMM(a *tensor.Sparse, b *Node) *Node {
+	val := t.alloc(a.Rows, b.Value.Cols)
+	tensor.SpMMInto(a, b.Value, val)
+	out := &Node{Value: val, requiresGrad: b.requiresGrad}
+	if out.requiresGrad {
+		out.backward = func() {
+			g := scratch(b.Value.Rows, b.Value.Cols)
+			tensor.SpMMTransAInto(a, out.Grad, g)
+			b.accum(g)
+			tensor.PutPooled(g)
 		}
 	}
 	return t.push(out)
@@ -125,7 +214,9 @@ func (t *Tape) MatMul(a, b *Node) *Node {
 
 // Add records c = a + b (same shape).
 func (t *Tape) Add(a, b *Node) *Node {
-	out := &Node{Value: tensor.Add(a.Value, b.Value), requiresGrad: anyGrad(a, b)}
+	val := t.alloc(a.Value.Rows, a.Value.Cols)
+	tensor.AddInto(a.Value, b.Value, val)
+	out := &Node{Value: val, requiresGrad: anyGrad(a, b)}
 	if out.requiresGrad {
 		out.backward = func() {
 			a.accum(out.Grad)
@@ -137,11 +228,18 @@ func (t *Tape) Add(a, b *Node) *Node {
 
 // Sub records c = a - b.
 func (t *Tape) Sub(a, b *Node) *Node {
-	out := &Node{Value: tensor.Sub(a.Value, b.Value), requiresGrad: anyGrad(a, b)}
+	val := t.alloc(a.Value.Rows, a.Value.Cols)
+	tensor.SubInto(a.Value, b.Value, val)
+	out := &Node{Value: val, requiresGrad: anyGrad(a, b)}
 	if out.requiresGrad {
 		out.backward = func() {
 			a.accum(out.Grad)
-			b.accum(tensor.Scale(out.Grad, -1))
+			if b.requiresGrad {
+				g := scratch(out.Grad.Rows, out.Grad.Cols)
+				tensor.ScaleInto(out.Grad, -1, g)
+				b.accum(g)
+				tensor.PutPooled(g)
+			}
 		}
 	}
 	return t.push(out)
@@ -149,14 +247,22 @@ func (t *Tape) Sub(a, b *Node) *Node {
 
 // Mul records the elementwise product c = a ⊙ b.
 func (t *Tape) Mul(a, b *Node) *Node {
-	out := &Node{Value: tensor.Mul(a.Value, b.Value), requiresGrad: anyGrad(a, b)}
+	val := t.alloc(a.Value.Rows, a.Value.Cols)
+	tensor.MulInto(a.Value, b.Value, val)
+	out := &Node{Value: val, requiresGrad: anyGrad(a, b)}
 	if out.requiresGrad {
 		out.backward = func() {
 			if a.requiresGrad {
-				a.accum(tensor.Mul(out.Grad, b.Value))
+				g := scratch(a.Value.Rows, a.Value.Cols)
+				tensor.MulInto(out.Grad, b.Value, g)
+				a.accum(g)
+				tensor.PutPooled(g)
 			}
 			if b.requiresGrad {
-				b.accum(tensor.Mul(out.Grad, a.Value))
+				g := scratch(b.Value.Rows, b.Value.Cols)
+				tensor.MulInto(out.Grad, a.Value, g)
+				b.accum(g)
+				tensor.PutPooled(g)
 			}
 		}
 	}
@@ -165,16 +271,25 @@ func (t *Tape) Mul(a, b *Node) *Node {
 
 // Scale records c = s*a for a constant s.
 func (t *Tape) Scale(a *Node, s float64) *Node {
-	out := &Node{Value: tensor.Scale(a.Value, s), requiresGrad: a.requiresGrad}
+	val := t.alloc(a.Value.Rows, a.Value.Cols)
+	tensor.ScaleInto(a.Value, s, val)
+	out := &Node{Value: val, requiresGrad: a.requiresGrad}
 	if out.requiresGrad {
-		out.backward = func() { a.accum(tensor.Scale(out.Grad, s)) }
+		out.backward = func() {
+			g := scratch(out.Grad.Rows, out.Grad.Cols)
+			tensor.ScaleInto(out.Grad, s, g)
+			a.accum(g)
+			tensor.PutPooled(g)
+		}
 	}
 	return t.push(out)
 }
 
 // AddConst records c = a + s for a constant s.
 func (t *Tape) AddConst(a *Node, s float64) *Node {
-	out := &Node{Value: tensor.Apply(a.Value, func(v float64) float64 { return v + s }), requiresGrad: a.requiresGrad}
+	val := t.alloc(a.Value.Rows, a.Value.Cols)
+	tensor.ApplyInto(a.Value, func(v float64) float64 { return v + s }, val)
+	out := &Node{Value: val, requiresGrad: a.requiresGrad}
 	if out.requiresGrad {
 		out.backward = func() { a.accum(out.Grad) }
 	}
@@ -183,13 +298,15 @@ func (t *Tape) AddConst(a *Node, s float64) *Node {
 
 // AddRowVector records c[i,:] = a[i,:] + v where v is 1 x Cols (bias broadcast).
 func (t *Tape) AddRowVector(a, v *Node) *Node {
-	out := &Node{Value: tensor.AddRowVector(a.Value, v.Value), requiresGrad: anyGrad(a, v)}
+	val := t.alloc(a.Value.Rows, a.Value.Cols)
+	tensor.AddRowVectorInto(a.Value, v.Value, val)
+	out := &Node{Value: val, requiresGrad: anyGrad(a, v)}
 	if out.requiresGrad {
 		out.backward = func() {
 			a.accum(out.Grad)
 			if v.requiresGrad {
 				// Bias gradient: sum of out.Grad over rows.
-				g := tensor.New(1, v.Value.Cols)
+				g := scratch(1, v.Value.Cols)
 				for i := 0; i < out.Grad.Rows; i++ {
 					row := out.Grad.Row(i)
 					for j, x := range row {
@@ -197,6 +314,7 @@ func (t *Tape) AddRowVector(a, v *Node) *Node {
 					}
 				}
 				v.accum(g)
+				tensor.PutPooled(g)
 			}
 		}
 	}
@@ -205,21 +323,24 @@ func (t *Tape) AddRowVector(a, v *Node) *Node {
 
 // ReLU records c = max(a, 0) elementwise.
 func (t *Tape) ReLU(a *Node) *Node {
-	out := &Node{Value: tensor.Apply(a.Value, func(v float64) float64 {
+	val := t.alloc(a.Value.Rows, a.Value.Cols)
+	tensor.ApplyInto(a.Value, func(v float64) float64 {
 		if v > 0 {
 			return v
 		}
 		return 0
-	}), requiresGrad: a.requiresGrad}
+	}, val)
+	out := &Node{Value: val, requiresGrad: a.requiresGrad}
 	if out.requiresGrad {
 		out.backward = func() {
-			g := tensor.New(a.Value.Rows, a.Value.Cols)
+			g := scratch(a.Value.Rows, a.Value.Cols)
 			for i, v := range a.Value.Data {
 				if v > 0 {
 					g.Data[i] = out.Grad.Data[i]
 				}
 			}
 			a.accum(g)
+			tensor.PutPooled(g)
 		}
 	}
 	return t.push(out)
@@ -227,15 +348,17 @@ func (t *Tape) ReLU(a *Node) *Node {
 
 // LeakyReLU records c = a if a>0 else slope*a.
 func (t *Tape) LeakyReLU(a *Node, slope float64) *Node {
-	out := &Node{Value: tensor.Apply(a.Value, func(v float64) float64 {
+	val := t.alloc(a.Value.Rows, a.Value.Cols)
+	tensor.ApplyInto(a.Value, func(v float64) float64 {
 		if v > 0 {
 			return v
 		}
 		return slope * v
-	}), requiresGrad: a.requiresGrad}
+	}, val)
+	out := &Node{Value: val, requiresGrad: a.requiresGrad}
 	if out.requiresGrad {
 		out.backward = func() {
-			g := tensor.New(a.Value.Rows, a.Value.Cols)
+			g := scratch(a.Value.Rows, a.Value.Cols)
 			for i, v := range a.Value.Data {
 				if v > 0 {
 					g.Data[i] = out.Grad.Data[i]
@@ -244,6 +367,7 @@ func (t *Tape) LeakyReLU(a *Node, slope float64) *Node {
 				}
 			}
 			a.accum(g)
+			tensor.PutPooled(g)
 		}
 	}
 	return t.push(out)
@@ -251,15 +375,17 @@ func (t *Tape) LeakyReLU(a *Node, slope float64) *Node {
 
 // Tanh records c = tanh(a) elementwise.
 func (t *Tape) Tanh(a *Node) *Node {
-	val := tensor.Apply(a.Value, math.Tanh)
+	val := t.alloc(a.Value.Rows, a.Value.Cols)
+	tensor.ApplyInto(a.Value, math.Tanh, val)
 	out := &Node{Value: val, requiresGrad: a.requiresGrad}
 	if out.requiresGrad {
 		out.backward = func() {
-			g := tensor.New(val.Rows, val.Cols)
+			g := scratch(val.Rows, val.Cols)
 			for i, y := range val.Data {
 				g.Data[i] = out.Grad.Data[i] * (1 - y*y)
 			}
 			a.accum(g)
+			tensor.PutPooled(g)
 		}
 	}
 	return t.push(out)
@@ -267,11 +393,15 @@ func (t *Tape) Tanh(a *Node) *Node {
 
 // Exp records c = exp(a) elementwise.
 func (t *Tape) Exp(a *Node) *Node {
-	val := tensor.Apply(a.Value, math.Exp)
+	val := t.alloc(a.Value.Rows, a.Value.Cols)
+	tensor.ApplyInto(a.Value, math.Exp, val)
 	out := &Node{Value: val, requiresGrad: a.requiresGrad}
 	if out.requiresGrad {
 		out.backward = func() {
-			a.accum(tensor.Mul(out.Grad, val))
+			g := scratch(val.Rows, val.Cols)
+			tensor.MulInto(out.Grad, val, g)
+			a.accum(g)
+			tensor.PutPooled(g)
 		}
 	}
 	return t.push(out)
@@ -279,11 +409,18 @@ func (t *Tape) Exp(a *Node) *Node {
 
 // Square records c = a² elementwise.
 func (t *Tape) Square(a *Node) *Node {
-	out := &Node{Value: tensor.Mul(a.Value, a.Value), requiresGrad: a.requiresGrad}
+	val := t.alloc(a.Value.Rows, a.Value.Cols)
+	tensor.MulInto(a.Value, a.Value, val)
+	out := &Node{Value: val, requiresGrad: a.requiresGrad}
 	if out.requiresGrad {
 		out.backward = func() {
-			g := tensor.Mul(out.Grad, a.Value)
-			a.accum(tensor.Scale(g, 2))
+			g := scratch(a.Value.Rows, a.Value.Cols)
+			tensor.MulInto(out.Grad, a.Value, g)
+			for i := range g.Data {
+				g.Data[i] *= 2
+			}
+			a.accum(g)
+			tensor.PutPooled(g)
 		}
 	}
 	return t.push(out)
@@ -291,10 +428,18 @@ func (t *Tape) Square(a *Node) *Node {
 
 // SumAll records the 1x1 scalar sum of every entry of a.
 func (t *Tape) SumAll(a *Node) *Node {
-	out := &Node{Value: tensor.Full(1, 1, tensor.Sum(a.Value)), requiresGrad: a.requiresGrad}
+	val := t.alloc(1, 1)
+	val.Data[0] = tensor.Sum(a.Value)
+	out := &Node{Value: val, requiresGrad: a.requiresGrad}
 	if out.requiresGrad {
 		out.backward = func() {
-			a.accum(tensor.Full(a.Value.Rows, a.Value.Cols, out.Grad.Data[0]))
+			g := scratch(a.Value.Rows, a.Value.Cols)
+			v := out.Grad.Data[0]
+			for i := range g.Data {
+				g.Data[i] = v
+			}
+			a.accum(g)
+			tensor.PutPooled(g)
 		}
 	}
 	return t.push(out)
@@ -303,14 +448,16 @@ func (t *Tape) SumAll(a *Node) *Node {
 // MeanRows records the 1 x Cols vector of column means (mean pooling over the
 // node set, used by the critic head).
 func (t *Tape) MeanRows(a *Node) *Node {
-	out := &Node{Value: tensor.MeanRows(a.Value), requiresGrad: a.requiresGrad}
+	val := t.alloc(1, a.Value.Cols)
+	tensor.MeanRowsInto(a.Value, val)
+	out := &Node{Value: val, requiresGrad: a.requiresGrad}
 	if out.requiresGrad {
 		rows := a.Value.Rows
 		out.backward = func() {
 			if rows == 0 {
 				return
 			}
-			g := tensor.New(rows, a.Value.Cols)
+			g := scratch(rows, a.Value.Cols)
 			inv := 1.0 / float64(rows)
 			for i := 0; i < rows; i++ {
 				grow := g.Row(i)
@@ -319,6 +466,7 @@ func (t *Tape) MeanRows(a *Node) *Node {
 				}
 			}
 			a.accum(g)
+			tensor.PutPooled(g)
 		}
 	}
 	return t.push(out)
@@ -328,18 +476,21 @@ func (t *Tape) MeanRows(a *Node) *Node {
 // node set, used for the ∅-action score). The gradient routes to the argmax
 // row of each column.
 func (t *Tape) MaxRows(a *Node) *Node {
-	val, arg := tensor.MaxRows(a.Value)
+	val := t.alloc(1, a.Value.Cols)
+	arg := make([]int, a.Value.Cols)
+	tensor.MaxRowsInto(a.Value, val, arg)
 	out := &Node{Value: val, requiresGrad: a.requiresGrad}
 	if out.requiresGrad {
 		out.backward = func() {
 			if a.Value.Rows == 0 {
 				return
 			}
-			g := tensor.New(a.Value.Rows, a.Value.Cols)
+			g := scratch(a.Value.Rows, a.Value.Cols)
 			for j, i := range arg {
 				g.Set(i, j, out.Grad.Data[j])
 			}
 			a.accum(g)
+			tensor.PutPooled(g)
 		}
 	}
 	return t.push(out)
@@ -350,10 +501,12 @@ func (t *Tape) MaxRows(a *Node) *Node {
 // indices are handled correctly.
 func (t *Tape) GatherRows(a *Node, idx []int) *Node {
 	ids := append([]int(nil), idx...)
-	out := &Node{Value: tensor.GatherRows(a.Value, ids), requiresGrad: a.requiresGrad}
+	val := t.alloc(len(ids), a.Value.Cols)
+	tensor.GatherRowsInto(a.Value, ids, val)
+	out := &Node{Value: val, requiresGrad: a.requiresGrad}
 	if out.requiresGrad {
 		out.backward = func() {
-			g := tensor.New(a.Value.Rows, a.Value.Cols)
+			g := scratch(a.Value.Rows, a.Value.Cols)
 			for i, r := range ids {
 				grow := g.Row(r)
 				orow := out.Grad.Row(i)
@@ -362,6 +515,7 @@ func (t *Tape) GatherRows(a *Node, idx []int) *Node {
 				}
 			}
 			a.accum(g)
+			tensor.PutPooled(g)
 		}
 	}
 	return t.push(out)
@@ -369,23 +523,27 @@ func (t *Tape) GatherRows(a *Node, idx []int) *Node {
 
 // ConcatCols records [a | b].
 func (t *Tape) ConcatCols(a, b *Node) *Node {
-	out := &Node{Value: tensor.ConcatCols(a.Value, b.Value), requiresGrad: anyGrad(a, b)}
+	val := t.alloc(a.Value.Rows, a.Value.Cols+b.Value.Cols)
+	tensor.ConcatColsInto(a.Value, b.Value, val)
+	out := &Node{Value: val, requiresGrad: anyGrad(a, b)}
 	if out.requiresGrad {
 		ac := a.Value.Cols
 		out.backward = func() {
 			if a.requiresGrad {
-				g := tensor.New(a.Value.Rows, a.Value.Cols)
+				g := scratch(a.Value.Rows, a.Value.Cols)
 				for i := 0; i < g.Rows; i++ {
 					copy(g.Row(i), out.Grad.Row(i)[:ac])
 				}
 				a.accum(g)
+				tensor.PutPooled(g)
 			}
 			if b.requiresGrad {
-				g := tensor.New(b.Value.Rows, b.Value.Cols)
+				g := scratch(b.Value.Rows, b.Value.Cols)
 				for i := 0; i < g.Rows; i++ {
 					copy(g.Row(i), out.Grad.Row(i)[ac:])
 				}
 				b.accum(g)
+				tensor.PutPooled(g)
 			}
 		}
 	}
@@ -398,11 +556,26 @@ func (t *Tape) ConcatRows(nodes ...*Node) *Node {
 	if len(nodes) == 0 {
 		panic("autograd: ConcatRows needs at least one node")
 	}
-	val := nodes[0].Value
-	req := nodes[0].requiresGrad
-	for _, n := range nodes[1:] {
-		val = tensor.ConcatRows(val, n.Value)
+	cols := nodes[0].Value.Cols
+	rows := 0
+	req := false
+	for _, n := range nodes {
+		if n.Value.Rows > 0 {
+			if cols == 0 || nodes[0].Value.Rows == 0 {
+				cols = n.Value.Cols
+			}
+			if n.Value.Cols != cols {
+				panic(fmt.Sprintf("autograd: ConcatRows col mismatch %d vs %d", n.Value.Cols, cols))
+			}
+		}
+		rows += n.Value.Rows
 		req = req || n.requiresGrad
+	}
+	val := t.alloc(rows, cols)
+	offset := 0
+	for _, n := range nodes {
+		copy(val.Data[offset*cols:], n.Value.Data)
+		offset += n.Value.Rows
 	}
 	out := &Node{Value: val, requiresGrad: req}
 	if out.requiresGrad {
@@ -412,9 +585,10 @@ func (t *Tape) ConcatRows(nodes ...*Node) *Node {
 			for _, p := range parts {
 				rows := p.Value.Rows
 				if p.requiresGrad {
-					g := tensor.New(rows, p.Value.Cols)
+					g := scratch(rows, p.Value.Cols)
 					copy(g.Data, out.Grad.Data[offset*out.Grad.Cols:(offset+rows)*out.Grad.Cols])
 					p.accum(g)
+					tensor.PutPooled(g)
 				}
 				offset += rows
 			}
@@ -441,7 +615,7 @@ func (t *Tape) LogSoftmaxCol(a *Node) *Node {
 		sum += math.Exp(v - maxv)
 	}
 	logZ := maxv + math.Log(sum)
-	val := tensor.New(n, 1)
+	val := t.alloc(n, 1)
 	for i, v := range a.Value.Data {
 		val.Data[i] = v - logZ
 	}
@@ -453,11 +627,12 @@ func (t *Tape) LogSoftmaxCol(a *Node) *Node {
 			for _, v := range out.Grad.Data {
 				gsum += v
 			}
-			g := tensor.New(n, 1)
+			g := scratch(n, 1)
 			for i := range g.Data {
 				g.Data[i] = out.Grad.Data[i] - math.Exp(val.Data[i])*gsum
 			}
 			a.accum(g)
+			tensor.PutPooled(g)
 		}
 	}
 	return t.push(out)
@@ -465,12 +640,15 @@ func (t *Tape) LogSoftmaxCol(a *Node) *Node {
 
 // Pick records the 1x1 scalar a[i,j].
 func (t *Tape) Pick(a *Node, i, j int) *Node {
-	out := &Node{Value: tensor.Full(1, 1, a.Value.At(i, j)), requiresGrad: a.requiresGrad}
+	val := t.alloc(1, 1)
+	val.Data[0] = a.Value.At(i, j)
+	out := &Node{Value: val, requiresGrad: a.requiresGrad}
 	if out.requiresGrad {
 		out.backward = func() {
-			g := tensor.New(a.Value.Rows, a.Value.Cols)
+			g := scratch(a.Value.Rows, a.Value.Cols)
 			g.Set(i, j, out.Grad.Data[0])
 			a.accum(g)
+			tensor.PutPooled(g)
 		}
 	}
 	return t.push(out)

@@ -23,6 +23,11 @@ type Config struct {
 	// operator D̃^{-1}Ã (ablation: information flows only from a task to its
 	// descendants).
 	Directed bool
+	// DenseProp materialises the propagation operator densely and multiplies
+	// it as an n x n matrix instead of in CSR form. The outputs are
+	// numerically equivalent (see the sparse/dense equivalence tests); this
+	// exists as the ablation/benchmark baseline for the sparse hot path.
+	DenseProp bool
 	// Seed initialises the parameters.
 	Seed int64
 }
@@ -125,11 +130,19 @@ func (a *Agent) Forward(es *EncodedState) *Forward {
 	b := nn.NewBinding()
 	tp := b.Tape
 
-	// Node embeddings: input projection then the GCN stack.
+	// Node embeddings: input projection then the GCN stack. Propagation runs
+	// sparse (CSR SpMM) unless the DenseProp ablation asks for the dense
+	// baseline.
 	h := tp.ReLU(a.input.Forward(b, tp.Const(es.X)))
-	norm := tp.Const(es.Norm)
-	for _, g := range a.gcn {
-		h = g.Forward(b, norm, h)
+	if a.Cfg.DenseProp {
+		norm := tp.Const(es.DenseNorm())
+		for _, g := range a.gcn {
+			h = g.ForwardDense(b, norm, h)
+		}
+	} else {
+		for _, g := range a.gcn {
+			h = g.Forward(b, es.Norm, h)
+		}
 	}
 
 	// Actor: one score per ready task.

@@ -67,8 +67,9 @@ type EncodedState struct {
 	Nodes []int
 	// X is the len(Nodes) x NumNodeFeatures feature matrix.
 	X *tensor.Matrix
-	// Norm is the normalised adjacency of the induced sub-DAG.
-	Norm *tensor.Matrix
+	// Norm is the normalised adjacency of the induced sub-DAG in CSR form
+	// (DAG windows are sparse: O(E) nonzeros against n² dense entries).
+	Norm *tensor.Sparse
 	// ReadyRows/ReadyTasks map candidate actions to rows and task IDs.
 	ReadyRows  []int
 	ReadyTasks []int
@@ -77,6 +78,18 @@ type EncodedState struct {
 	// AllowIdle reports whether the ∅ action is legal (at least one task is
 	// running, so simulated time can advance).
 	AllowIdle bool
+
+	denseNorm *tensor.Matrix
+}
+
+// DenseNorm materialises Norm as a dense matrix, caching the result. Only the
+// dense-propagation ablation path (core.Config.DenseProp) and benchmarks use
+// it; the hot path multiplies Norm directly in CSR form.
+func (e *EncodedState) DenseNorm() *tensor.Matrix {
+	if e.denseNorm == nil {
+		e.denseNorm = e.Norm.Dense()
+	}
+	return e.denseNorm
 }
 
 // NumActions returns the size of the action space of this state.

@@ -89,10 +89,16 @@ func (p *Policy) Decide(s *sim.State, r int) int {
 	default:
 		action = fw.Sample(p.Rng)
 	}
+	idleIdx := fw.IdleIndex
 	if p.Record {
 		p.Steps = append(p.Steps, Step{State: es, Forward: fw, Action: action})
+	} else {
+		// Nothing will revisit this decision: hand the tape's scratch
+		// buffers straight back to the pool (serving and greedy evaluation
+		// run allocation-free at steady state).
+		fw.Binding.Release()
 	}
-	if action == fw.IdleIndex && fw.IdleIndex >= 0 {
+	if action == idleIdx && idleIdx >= 0 {
 		return sim.NoTask
 	}
 	return es.ReadyTasks[action]

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"readys/internal/taskgraph"
+)
+
+// TestSparseDensePropagationEquivalent pins the contract EXPERIMENTS.md relies
+// on: the sparse CSR propagation path and the DenseProp ablation produce
+// bit-identical network outputs, so switching the hot path to SpMM changes no
+// reported number. Exact equality holds because both paths accumulate each
+// output element in ascending column order and skipped zero terms cannot
+// change an IEEE sum.
+func TestSparseDensePropagationEquivalent(t *testing.T) {
+	for _, directed := range []bool{false, true} {
+		p := NewProblem(taskgraph.Cholesky, 4, 2, 2, 0)
+		s := initialState(p)
+		es := EncodeWith(s, 0, taskgraph.DescendantFeatures(p.Graph), 2, directed)
+
+		cfg := Config{Window: 2, Layers: 2, Hidden: 16, Seed: 1, Directed: directed}
+		sparseAgent := NewAgent(cfg)
+		cfg.DenseProp = true
+		denseAgent := NewAgent(cfg)
+
+		sp := sparseAgent.Forward(es)
+		de := denseAgent.Forward(es)
+		if !sp.LogProbs.Value.Equal(de.LogProbs.Value) {
+			t.Fatalf("directed=%v: sparse and dense propagation log-probs differ", directed)
+		}
+		if !sp.Value.Value.Equal(de.Value.Value) {
+			t.Fatalf("directed=%v: sparse and dense propagation values differ", directed)
+		}
+		sp.Binding.Release()
+		de.Binding.Release()
+	}
+}
+
+// TestDenseNormMatchesSparse checks the cached dense materialisation.
+func TestDenseNormMatchesSparse(t *testing.T) {
+	p := NewProblem(taskgraph.Cholesky, 4, 2, 2, 0)
+	es := encodeInitial(p, 0, 2)
+	d := es.DenseNorm()
+	if d != es.DenseNorm() {
+		t.Fatal("DenseNorm must cache its result")
+	}
+	if d.Rows != es.Norm.Rows || d.Cols != es.Norm.Cols {
+		t.Fatalf("DenseNorm shape %dx%d vs sparse %dx%d", d.Rows, d.Cols, es.Norm.Rows, es.Norm.Cols)
+	}
+	for i := 0; i < d.Rows; i++ {
+		for j := 0; j < d.Cols; j++ {
+			if d.At(i, j) != es.Norm.At(i, j) {
+				t.Fatalf("DenseNorm(%d,%d) = %v, sparse %v", i, j, d.At(i, j), es.Norm.At(i, j))
+			}
+		}
+	}
+}

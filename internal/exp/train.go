@@ -19,6 +19,10 @@ type TrainOptions struct {
 	// Telemetry, if non-nil, receives every EpisodeStats as one JSON line.
 	// Attaching a sink never changes the training trajectory.
 	Telemetry *obs.JSONL
+	// Workers is the number of concurrent episode rollouts per training
+	// batch (0 selects GOMAXPROCS). Results are bit-identical at any value;
+	// see rl.Config.RolloutWorkers.
+	Workers int
 }
 
 // TrainAgent trains a fresh agent for the spec with the given episode budget
@@ -35,6 +39,7 @@ func TrainAgentWith(spec AgentSpec, dir string, opt TrainOptions) (*core.Agent, 
 	cfg := rl.DefaultConfig()
 	cfg.Episodes = opt.Episodes
 	cfg.Seed = spec.Seed
+	cfg.RolloutWorkers = opt.Workers
 	trainer := rl.NewTrainer(agent, spec.Problem(), cfg)
 	trainer.Telemetry = opt.Telemetry
 	hist, err := trainer.Run(opt.Progress)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"readys/internal/autograd"
 	"readys/internal/tensor"
@@ -55,8 +56,19 @@ func NewGCN(rng *rand.Rand, name string, in, out int) *GCN {
 }
 
 // Forward computes φ(norm · h · W + b) with φ = ReLU. norm must be the
-// n x n normalised adjacency of the sub-DAG and h the n x in feature matrix.
-func (g *GCN) Forward(b *Binding, norm *autograd.Node, h *autograd.Node) *autograd.Node {
+// n x n normalised adjacency of the sub-DAG in CSR form and h the n x in
+// feature matrix. Propagation runs as SpMM, so each layer costs O(E·h)
+// rather than the dense O(n²·h).
+func (g *GCN) Forward(b *Binding, norm *tensor.Sparse, h *autograd.Node) *autograd.Node {
+	agg := b.Tape.SpMM(norm, h)
+	lin := b.Tape.AddRowVector(b.Tape.MatMul(agg, b.Bind(g.W)), b.Bind(g.B))
+	return b.Tape.ReLU(lin)
+}
+
+// ForwardDense is the dense-propagation variant of Forward: norm is
+// materialised as an n x n matrix and multiplied densely. Kept as the
+// ablation/benchmark baseline for the sparse path (core.Config.DenseProp).
+func (g *GCN) ForwardDense(b *Binding, norm *autograd.Node, h *autograd.Node) *autograd.Node {
 	agg := b.Tape.MatMul(norm, h)
 	lin := b.Tape.AddRowVector(b.Tape.MatMul(agg, b.Bind(g.W)), b.Bind(g.B))
 	return b.Tape.ReLU(lin)
@@ -68,67 +80,76 @@ func (g *GCN) Params() []*Param { return []*Param{g.W, g.B} }
 // NormalizedAdjacency returns D̃^{-1/2} (A + I) D̃^{-1/2} for the directed
 // adjacency A given as successor lists: succ[i] holds the indices j of the
 // edges i→j. Treating the operator symmetrically (information flows both
-// ways, as in the paper's GCN) means both (i,j) and (j,i) are set.
-func NormalizedAdjacency(n int, succ [][]int) *tensor.Matrix {
-	a := tensor.New(n, n)
+// ways, as in the paper's GCN) means both (i,j) and (j,i) are set. The
+// result is built directly in CSR form — O(E) work and memory, never
+// materialising the n x n matrix.
+func NormalizedAdjacency(n int, succ [][]int) *tensor.Sparse {
+	neigh := adjacencyRows(n, succ, true)
+	deg := make([]float64, n)
+	for i, row := range neigh {
+		deg[i] = float64(len(row))
+	}
+	entries := make([][]tensor.SparseEntry, n)
+	for i, row := range neigh {
+		es := make([]tensor.SparseEntry, len(row))
+		for k, j := range row {
+			es[k] = tensor.SparseEntry{Col: j, Val: 1 / sqrtf(deg[i]*deg[j])}
+		}
+		entries[i] = es
+	}
+	return tensor.SparseFromRows(n, n, entries)
+}
+
+// DirectedNormalizedAdjacency returns D̃^{-1} (A + I) for a strictly
+// downstream information flow (ablation variant): row-normalised adjacency
+// where node i aggregates itself and its successors. Built directly in CSR
+// form like NormalizedAdjacency.
+func DirectedNormalizedAdjacency(n int, succ [][]int) *tensor.Sparse {
+	neigh := adjacencyRows(n, succ, false)
+	entries := make([][]tensor.SparseEntry, n)
+	for i, row := range neigh {
+		d := float64(len(row))
+		es := make([]tensor.SparseEntry, len(row))
+		for k, j := range row {
+			es[k] = tensor.SparseEntry{Col: j, Val: 1 / d}
+		}
+		entries[i] = es
+	}
+	return tensor.SparseFromRows(n, n, entries)
+}
+
+// adjacencyRows builds sorted, deduplicated neighbour lists of A + I from
+// successor lists, mirroring edges when symmetric is set. Row i always
+// contains i (the self-loop), so every row is non-empty.
+func adjacencyRows(n int, succ [][]int, symmetric bool) [][]int {
+	rows := make([][]int, n)
 	for i := 0; i < n; i++ {
-		a.Set(i, i, 1) // self-loop
+		rows[i] = append(rows[i], i) // self-loop
 	}
 	for i, js := range succ {
 		for _, j := range js {
 			if i < 0 || i >= n || j < 0 || j >= n {
 				panic(fmt.Sprintf("nn: edge (%d,%d) out of range for n=%d", i, j, n))
 			}
-			a.Set(i, j, 1)
-			a.Set(j, i, 1)
-		}
-	}
-	deg := make([]float64, n)
-	for i := 0; i < n; i++ {
-		var d float64
-		for j := 0; j < n; j++ {
-			d += a.At(i, j)
-		}
-		deg[i] = d
-	}
-	out := tensor.New(n, n)
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			v := a.At(i, j)
-			if v != 0 {
-				out.Set(i, j, v/sqrtf(deg[i]*deg[j]))
+			rows[i] = append(rows[i], j)
+			if symmetric {
+				rows[j] = append(rows[j], i)
 			}
 		}
 	}
-	return out
-}
-
-// DirectedNormalizedAdjacency returns D̃^{-1} (A + I) for a strictly
-// downstream information flow (ablation variant): row-normalised adjacency
-// where node i aggregates itself and its successors.
-func DirectedNormalizedAdjacency(n int, succ [][]int) *tensor.Matrix {
-	a := tensor.New(n, n)
-	for i := 0; i < n; i++ {
-		a.Set(i, i, 1)
-	}
-	for i, js := range succ {
-		for _, j := range js {
-			a.Set(i, j, 1)
-		}
-	}
-	out := tensor.New(n, n)
-	for i := 0; i < n; i++ {
-		var d float64
-		for j := 0; j < n; j++ {
-			d += a.At(i, j)
-		}
-		for j := 0; j < n; j++ {
-			if v := a.At(i, j); v != 0 {
-				out.Set(i, j, v/d)
+	for i := range rows {
+		sort.Ints(rows[i])
+		// Deduplicate in place (repeated edges and i→i self-edges).
+		w := 0
+		for k, v := range rows[i] {
+			if k == 0 || v != rows[i][w-1] {
+				rows[i][w] = v
+				w++
 			}
 		}
+		rows[i] = rows[i][:w]
 	}
-	return out
+	return rows
 }
 
 // sqrtf is math.Sqrt with a guard for zero degrees (isolated vertices keep a

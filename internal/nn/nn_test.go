@@ -162,10 +162,9 @@ func TestGCNForwardDepthPropagation(t *testing.T) {
 	run := func(x0 float64, layers int) []float64 {
 		b := NewBinding()
 		x := b.Tape.Const(tensor.FromSlice(3, 1, []float64{x0, 1, 1}))
-		nrm := b.Tape.Const(norm)
-		h := g1.Forward(b, nrm, x)
+		h := g1.Forward(b, norm, x)
 		if layers == 2 {
-			h = g2.Forward(b, nrm, h)
+			h = g2.Forward(b, norm, h)
 		}
 		return append([]float64(nil), h.Value.Row(2)...)
 	}

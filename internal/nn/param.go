@@ -68,6 +68,12 @@ func (b *Binding) Flush() {
 	}
 }
 
+// Release returns every pooled intermediate of the binding's tape to the
+// buffer pool. Call it once the forward pass's outputs have been consumed
+// (after Flush when training). The binding and its nodes must not be used
+// afterwards.
+func (b *Binding) Release() { b.Tape.Release() }
+
 // ParamSet is an ordered collection of parameters: the unit of optimisation
 // and serialisation.
 type ParamSet struct {

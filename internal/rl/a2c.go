@@ -45,8 +45,15 @@ type Config struct {
 	// to every ∅ decision — a reward-shaping ablation of the paper's
 	// terminal-only design (§III-B sets rₜ=0 on non-terminal transitions).
 	IdlePenalty float64
-	// Seed drives episode randomness (noise, sampling).
+	// Seed drives episode randomness (noise, sampling). Each episode uses
+	// its own stream derived from (Seed, episodeIndex), so results do not
+	// depend on rollout scheduling.
 	Seed int64
+	// RolloutWorkers is the number of episodes of each batch rolled out
+	// concurrently (0 selects GOMAXPROCS). The training History is
+	// bit-identical at any worker count: per-episode RNG streams plus
+	// fixed-order gradient accumulation after the batch barrier.
+	RolloutWorkers int
 }
 
 // DefaultConfig returns the hyper-parameters used throughout the experiment
@@ -123,7 +130,6 @@ type Trainer struct {
 
 	opt      *nn.Adam
 	baseline float64
-	rng      *rand.Rand
 }
 
 // NewTrainer prepares training of the agent on the problem.
@@ -137,7 +143,6 @@ func NewTrainer(agent *core.Agent, problem core.Problem, cfg Config) *Trainer {
 		Cfg:      cfg,
 		opt:      nn.NewAdam(cfg.LR),
 		baseline: problem.HEFTBaseline(),
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
 	}
 }
 
@@ -152,34 +157,43 @@ func (t *Trainer) Run(progress func(EpisodeStats)) (History, error) {
 	hist := History{BaselineMakespan: t.baseline}
 	params := t.Agent.Params()
 	params.ZeroGrad()
-	inBatch := 0
-	for ep := 0; ep < t.Cfg.Episodes; ep++ {
-		pol := core.NewTrainingPolicy(t.Agent, t.rng)
-		res, err := t.Problem.Simulate(pol, t.rng)
-		if err != nil {
-			return hist, fmt.Errorf("rl: episode %d: %w", ep, err)
+	workers := resolveWorkers(t.Cfg.RolloutWorkers)
+	for start := 0; start < t.Cfg.Episodes; start += t.Cfg.BatchEpisodes {
+		n := t.Cfg.Episodes - start
+		if n > t.Cfg.BatchEpisodes {
+			n = t.Cfg.BatchEpisodes
 		}
-		reward := core.Reward(t.baseline, res.Makespan)
-		loss, policyLoss, valueLoss := t.accumulate(pol.Steps, reward)
-		inBatch++
-		var gradNorm float64
-		if inBatch == t.Cfg.BatchEpisodes || ep == t.Cfg.Episodes-1 {
-			gradNorm = applyUpdate(params, t.opt, t.Cfg.ClipNorm)
-			inBatch = 0
-		}
-		st := EpisodeStats{
-			Episode:    ep,
-			Makespan:   res.Makespan,
-			Reward:     reward,
-			Entropy:    pol.MeanEntropy(),
-			Loss:       loss,
-			PolicyLoss: policyLoss,
-			ValueLoss:  valueLoss,
-			GradNorm:   gradNorm,
-		}
-		hist.Episodes = append(hist.Episodes, st)
-		if err := emitEpisode(t.Telemetry, progress, st); err != nil {
-			return hist, err
+		// Roll out the whole batch under the current parameters, then
+		// accumulate gradients in fixed episode order: History does not
+		// depend on the worker count.
+		results := collectRollouts(t.Agent, t.Problem, t.baseline, t.Cfg.Seed, start, n, workers)
+		for k := range results {
+			r := &results[k]
+			if r.err != nil {
+				releaseResults(results[k:])
+				return hist, fmt.Errorf("rl: episode %d: %w", r.ep, r.err)
+			}
+			loss, policyLoss, valueLoss := t.accumulate(r.steps, r.reward)
+			releaseSteps(r.steps)
+			var gradNorm float64
+			if k == n-1 {
+				gradNorm = applyUpdate(params, t.opt, t.Cfg.ClipNorm)
+			}
+			st := EpisodeStats{
+				Episode:    r.ep,
+				Makespan:   r.makespan,
+				Reward:     r.reward,
+				Entropy:    r.entropy,
+				Loss:       loss,
+				PolicyLoss: policyLoss,
+				ValueLoss:  valueLoss,
+				GradNorm:   gradNorm,
+			}
+			hist.Episodes = append(hist.Episodes, st)
+			if err := emitEpisode(t.Telemetry, progress, st); err != nil {
+				releaseResults(results[k+1:])
+				return hist, err
+			}
 		}
 	}
 	return hist, nil

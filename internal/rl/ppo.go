@@ -3,7 +3,6 @@ package rl
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"readys/internal/autograd"
 	"readys/internal/core"
@@ -28,7 +27,13 @@ type PPOConfig struct {
 	ValueScale  float64
 	LR          float64
 	ClipNorm    float64
-	Seed        int64
+	// Seed drives episode randomness; each rollout episode uses its own
+	// stream derived from (Seed, episodeIndex).
+	Seed int64
+	// RolloutWorkers is the number of concurrent rollouts per iteration
+	// (0 selects GOMAXPROCS). The History is bit-identical at any worker
+	// count, mirroring the A2C contract (see Config.RolloutWorkers).
+	RolloutWorkers int
 }
 
 // DefaultPPOConfig returns conventional PPO constants matched to the A2C
@@ -70,7 +75,6 @@ type PPOTrainer struct {
 
 	opt      *nn.Adam
 	baseline float64
-	rng      *rand.Rand
 }
 
 // NewPPOTrainer prepares PPO training of the agent on the problem.
@@ -84,7 +88,6 @@ func NewPPOTrainer(agent *core.Agent, problem core.Problem, cfg PPOConfig) *PPOT
 		Cfg:      cfg,
 		opt:      nn.NewAdam(cfg.LR),
 		baseline: problem.HEFTBaseline(),
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
 	}
 }
 
@@ -97,21 +100,23 @@ func (t *PPOTrainer) Run(progress func(EpisodeStats)) (History, error) {
 	hist := History{BaselineMakespan: t.baseline}
 	params := t.Agent.Params()
 	params.ZeroGrad()
-	episode := 0
+	workers := resolveWorkers(t.Cfg.RolloutWorkers)
 	for it := 0; it < t.Cfg.Iterations; it++ {
-		// Collect a batch of rollouts under the current ("old") policy.
+		// Collect a batch of rollouts under the current ("old") policy,
+		// concurrently across the worker pool; samples are extracted in fixed
+		// episode order, so the batch layout is worker-count independent.
 		var batch []ppoSample
 		var pending []EpisodeStats
-		for e := 0; e < t.Cfg.EpisodesPerIter; e++ {
-			pol := core.NewTrainingPolicy(t.Agent, t.rng)
-			res, err := t.Problem.Simulate(pol, t.rng)
-			if err != nil {
-				return hist, fmt.Errorf("rl: ppo rollout: %w", err)
+		results := collectRollouts(t.Agent, t.Problem, t.baseline, t.Cfg.Seed, it*t.Cfg.EpisodesPerIter, t.Cfg.EpisodesPerIter, workers)
+		for k := range results {
+			r := &results[k]
+			if r.err != nil {
+				releaseResults(results[k:])
+				return hist, fmt.Errorf("rl: ppo rollout: %w", r.err)
 			}
-			reward := core.Reward(t.baseline, res.Makespan)
-			d := len(pol.Steps)
-			for i, st := range pol.Steps {
-				target := math.Pow(t.Cfg.Gamma, float64(d-1-i)) * reward
+			d := len(r.steps)
+			for i, st := range r.steps {
+				target := math.Pow(t.Cfg.Gamma, float64(d-1-i)) * r.reward
 				vOld := autograd.Scalar(st.Forward.Value)
 				batch = append(batch, ppoSample{
 					state:     st.State,
@@ -121,8 +126,10 @@ func (t *PPOTrainer) Run(progress func(EpisodeStats)) (History, error) {
 					advantage: target - vOld,
 				})
 			}
-			pending = append(pending, EpisodeStats{Episode: episode, Makespan: res.Makespan, Reward: reward, Entropy: pol.MeanEntropy()})
-			episode++
+			// The rollout tapes are only needed for the reads above: PPO
+			// re-runs Forward on the stored states during optimisation.
+			releaseSteps(r.steps)
+			pending = append(pending, EpisodeStats{Episode: r.ep, Makespan: r.makespan, Reward: r.reward, Entropy: r.entropy})
 		}
 		// Optimise the clipped surrogate for several epochs.
 		var epochTotal, epochPolicy, epochValue, gradNorm float64
@@ -157,6 +164,7 @@ func (t *PPOTrainer) Run(progress func(EpisodeStats)) (History, error) {
 				epochPolicy += autograd.Scalar(policyLoss) * scale
 				epochValue += autograd.Scalar(valueLoss) * scale
 				fw.Binding.Flush()
+				fw.Binding.Release()
 			}
 			gradNorm = applyUpdate(params, t.opt, t.Cfg.ClipNorm)
 		}

@@ -1,0 +1,118 @@
+package rl
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"readys/internal/core"
+)
+
+// Parallel rollout collection.
+//
+// Between gradient updates, the episodes of a batch are independent: Forward
+// only reads the agent's parameters (see the concurrency contract on
+// core.Agent.Forward), so rollouts can run concurrently A3C-style. Two rules
+// keep the training History bit-identical to a sequential run at any worker
+// count:
+//
+//  1. Every episode draws from its own RNG stream seeded by (Seed,
+//     episodeIndex) — episodeSeed below — so an episode's randomness never
+//     depends on which worker ran it or what ran before it.
+//  2. Gradient accumulation and statistics happen on the caller's goroutine
+//     in fixed episode order after the batch barrier; workers only produce
+//     recorded tapes.
+
+// episodeSeed derives episode ep's RNG seed from the trainer seed with a
+// splitmix64-style finaliser, decorrelating consecutive episodes and
+// consecutive trainer seeds.
+func episodeSeed(seed int64, ep int) int64 {
+	z := uint64(seed) + (uint64(ep)+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// resolveWorkers maps a RolloutWorkers config value to an effective worker
+// count (0 or negative selects GOMAXPROCS).
+func resolveWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// rolloutResult is one collected episode: the recorded decision tapes plus
+// everything that must be computed inside the worker (entropy pushes nodes
+// onto the episode's tapes, so it cannot wait until after release).
+type rolloutResult struct {
+	ep       int
+	steps    []core.Step
+	makespan float64
+	reward   float64
+	entropy  float64
+	err      error
+}
+
+// collectRollouts runs episodes [start, start+n) of the training schedule and
+// returns their results indexed by position. With workers > 1 the episodes
+// run concurrently on a bounded worker pool; results are identical to the
+// sequential path by construction (per-episode RNG streams, no shared mutable
+// state beyond the read-only agent parameters).
+func collectRollouts(agent *core.Agent, problem core.Problem, baseline float64, seed int64, start, n, workers int) []rolloutResult {
+	results := make([]rolloutResult, n)
+	runOne := func(k int) {
+		ep := start + k
+		rng := rand.New(rand.NewSource(episodeSeed(seed, ep)))
+		pol := core.NewTrainingPolicy(agent, rng)
+		res, err := problem.Simulate(pol, rng)
+		r := rolloutResult{ep: ep, steps: pol.Steps, err: err}
+		if err == nil {
+			r.makespan = res.Makespan
+			r.reward = core.Reward(baseline, res.Makespan)
+			r.entropy = pol.MeanEntropy()
+		}
+		results[k] = r
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		for k := 0; k < n; k++ {
+			runOne(k)
+		}
+		return results
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range idx {
+				runOne(k)
+			}
+		}()
+	}
+	for k := 0; k < n; k++ {
+		idx <- k
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// releaseSteps returns the recorded decision tapes of an episode to the
+// buffer pool once their gradients (and any value reads) are consumed.
+func releaseSteps(steps []core.Step) {
+	for _, st := range steps {
+		st.Forward.Binding.Release()
+	}
+}
+
+// releaseResults releases every episode tape in results (error-path cleanup).
+func releaseResults(results []rolloutResult) {
+	for _, r := range results {
+		releaseSteps(r.steps)
+	}
+}

@@ -114,4 +114,6 @@ func registerComponentGauges(reg *obs.Registry, registry *Registry, pool *Pool) 
 		func() float64 { return float64(pool.Queued()) })
 	reg.GaugeFunc("readys_pool_running", "Jobs currently executing.",
 		func() float64 { return float64(pool.Running()) })
+	reg.GaugeFunc("readys_rollout_workers", "Default rollout worker count on this host (GOMAXPROCS), the parallelism a training batch collects episodes with.",
+		func() float64 { return float64(runtime.GOMAXPROCS(0)) })
 }

@@ -7,43 +7,58 @@ import (
 	"sync"
 )
 
-// parallelThreshold is the number of multiply-adds below which MatMul stays
-// single-threaded; spawning goroutines for tiny products costs more than the
-// product itself.
+// parallelThreshold is the number of multiply-adds below which the matrix
+// products stay single-threaded; spawning goroutines for tiny products costs
+// more than the product itself.
 const parallelThreshold = 64 * 64 * 64
+
+// parallelRows splits [0, rows) into one contiguous block per worker and runs
+// fn on each block concurrently. Each output row is written by exactly one
+// goroutine with the same inner-loop order as the serial path, so results are
+// bit-identical regardless of the split.
+func parallelRows(rows int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > rows {
+		workers = rows
+	}
+	chunk := (rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
 
 // MatMul returns a*b. It panics if the inner dimensions disagree.
 // Large products are split across row blocks and computed by a pool of
 // goroutines sized to GOMAXPROCS.
 func MatMul(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Cols)
+	MatMulInto(a, b, out)
+	return out
+}
+
+// MatMulInto computes out = a*b into a caller-supplied (zeroed or dirty)
+// destination.
+func MatMulInto(a, b, out *Matrix) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMul shape mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := New(a.Rows, b.Cols)
+	mustShape("MatMul destination", out, a.Rows, b.Cols)
 	work := a.Rows * a.Cols * b.Cols
 	if work < parallelThreshold || a.Rows < 2 {
 		matMulRange(a, b, out, 0, a.Rows)
-		return out
+		return
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > a.Rows {
-		workers = a.Rows
-	}
-	chunk := (a.Rows + workers - 1) / workers
-	var wg sync.WaitGroup
-	for lo := 0; lo < a.Rows; lo += chunk {
-		hi := lo + chunk
-		if hi > a.Rows {
-			hi = a.Rows
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			matMulRange(a, b, out, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-	return out
+	parallelRows(a.Rows, func(lo, hi int) { matMulRange(a, b, out, lo, hi) })
 }
 
 // matMulRange computes rows [lo, hi) of out = a*b using an ikj loop order so
@@ -53,10 +68,10 @@ func matMulRange(a, b, out *Matrix, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		arow := a.Data[i*n : (i+1)*n]
 		orow := out.Data[i*p : (i+1)*p]
+		for j := range orow {
+			orow[j] = 0
+		}
 		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
 			brow := b.Data[k*p : (k+1)*p]
 			for j, bv := range brow {
 				orow[j] += av * bv
@@ -67,35 +82,73 @@ func matMulRange(a, b, out *Matrix, lo, hi int) {
 
 // MatMulTransA returns aᵀ*b without materialising the transpose.
 func MatMulTransA(a, b *Matrix) *Matrix {
+	out := New(a.Cols, b.Cols)
+	MatMulTransAInto(a, b, out)
+	return out
+}
+
+// MatMulTransAInto computes out = aᵀ*b into a caller-supplied destination.
+// Large products are split across blocks of output rows (columns of a) like
+// MatMul; per-element accumulation runs over k in ascending order on every
+// path, so the result is bit-identical at any parallelism level.
+func MatMulTransAInto(a, b, out *Matrix) {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulTransA shape mismatch %dx%d ᵀ* %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := New(a.Cols, b.Cols)
-	p := b.Cols
-	for k := 0; k < a.Rows; k++ {
-		arow := a.Data[k*a.Cols : (k+1)*a.Cols]
-		brow := b.Data[k*p : (k+1)*p]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			orow := out.Data[i*p : (i+1)*p]
+	mustShape("MatMulTransA destination", out, a.Cols, b.Cols)
+	work := a.Rows * a.Cols * b.Cols
+	if work < parallelThreshold || a.Cols < 2 {
+		matMulTransARange(a, b, out, 0, a.Cols)
+		return
+	}
+	parallelRows(a.Cols, func(lo, hi int) { matMulTransARange(a, b, out, lo, hi) })
+}
+
+// matMulTransARange computes output rows [lo, hi) of out = aᵀ*b: output row i
+// is Σ_k a[k,i]·b[k,:].
+func matMulTransARange(a, b, out *Matrix, lo, hi int) {
+	n, p := a.Cols, b.Cols
+	for i := lo; i < hi; i++ {
+		orow := out.Data[i*p : (i+1)*p]
+		for j := range orow {
+			orow[j] = 0
+		}
+		for k := 0; k < a.Rows; k++ {
+			av := a.Data[k*n+i]
+			brow := b.Data[k*p : (k+1)*p]
 			for j, bv := range brow {
 				orow[j] += av * bv
 			}
 		}
 	}
-	return out
 }
 
 // MatMulTransB returns a*bᵀ without materialising the transpose.
 func MatMulTransB(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Rows)
+	MatMulTransBInto(a, b, out)
+	return out
+}
+
+// MatMulTransBInto computes out = a*bᵀ into a caller-supplied destination,
+// split across row blocks of a for large products.
+func MatMulTransBInto(a, b, out *Matrix) {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulTransB shape mismatch %dx%d *ᵀ %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := New(a.Rows, b.Rows)
+	mustShape("MatMulTransB destination", out, a.Rows, b.Rows)
+	work := a.Rows * a.Cols * b.Rows
+	if work < parallelThreshold || a.Rows < 2 {
+		matMulTransBRange(a, b, out, 0, a.Rows)
+		return
+	}
+	parallelRows(a.Rows, func(lo, hi int) { matMulTransBRange(a, b, out, lo, hi) })
+}
+
+// matMulTransBRange computes rows [lo, hi) of out = a*bᵀ.
+func matMulTransBRange(a, b, out *Matrix, lo, hi int) {
 	n := a.Cols
-	for i := 0; i < a.Rows; i++ {
+	for i := lo; i < hi; i++ {
 		arow := a.Data[i*n : (i+1)*n]
 		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
 		for j := 0; j < b.Rows; j++ {
@@ -107,46 +160,69 @@ func MatMulTransB(a, b *Matrix) *Matrix {
 			orow[j] = s
 		}
 	}
-	return out
 }
 
 // Add returns a+b elementwise.
 func Add(a, b *Matrix) *Matrix {
-	mustSameShape("Add", a, b)
 	out := New(a.Rows, a.Cols)
+	AddInto(a, b, out)
+	return out
+}
+
+// AddInto computes out = a+b.
+func AddInto(a, b, out *Matrix) {
+	mustSameShape("Add", a, b)
+	mustShape("Add destination", out, a.Rows, a.Cols)
 	for i, v := range a.Data {
 		out.Data[i] = v + b.Data[i]
 	}
-	return out
 }
 
 // Sub returns a-b elementwise.
 func Sub(a, b *Matrix) *Matrix {
-	mustSameShape("Sub", a, b)
 	out := New(a.Rows, a.Cols)
+	SubInto(a, b, out)
+	return out
+}
+
+// SubInto computes out = a-b.
+func SubInto(a, b, out *Matrix) {
+	mustSameShape("Sub", a, b)
+	mustShape("Sub destination", out, a.Rows, a.Cols)
 	for i, v := range a.Data {
 		out.Data[i] = v - b.Data[i]
 	}
-	return out
 }
 
 // Mul returns the elementwise (Hadamard) product a⊙b.
 func Mul(a, b *Matrix) *Matrix {
-	mustSameShape("Mul", a, b)
 	out := New(a.Rows, a.Cols)
+	MulInto(a, b, out)
+	return out
+}
+
+// MulInto computes out = a⊙b.
+func MulInto(a, b, out *Matrix) {
+	mustSameShape("Mul", a, b)
+	mustShape("Mul destination", out, a.Rows, a.Cols)
 	for i, v := range a.Data {
 		out.Data[i] = v * b.Data[i]
 	}
-	return out
 }
 
 // Scale returns s*a.
 func Scale(a *Matrix, s float64) *Matrix {
 	out := New(a.Rows, a.Cols)
+	ScaleInto(a, s, out)
+	return out
+}
+
+// ScaleInto computes out = s*a.
+func ScaleInto(a *Matrix, s float64, out *Matrix) {
+	mustShape("Scale destination", out, a.Rows, a.Cols)
 	for i, v := range a.Data {
 		out.Data[i] = v * s
 	}
-	return out
 }
 
 // AddInPlace accumulates b into a.
@@ -168,10 +244,17 @@ func AddScaledInPlace(a *Matrix, b *Matrix, s float64) {
 // AddRowVector returns a matrix whose every row is the corresponding row of a
 // plus the 1 x Cols row vector v (bias broadcast).
 func AddRowVector(a, v *Matrix) *Matrix {
+	out := New(a.Rows, a.Cols)
+	AddRowVectorInto(a, v, out)
+	return out
+}
+
+// AddRowVectorInto computes the bias broadcast into out.
+func AddRowVectorInto(a, v, out *Matrix) {
 	if v.Rows != 1 || v.Cols != a.Cols {
 		panic(fmt.Sprintf("tensor: AddRowVector wants 1x%d, got %dx%d", a.Cols, v.Rows, v.Cols))
 	}
-	out := New(a.Rows, a.Cols)
+	mustShape("AddRowVector destination", out, a.Rows, a.Cols)
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
 		orow := out.Data[i*a.Cols : (i+1)*a.Cols]
@@ -179,16 +262,21 @@ func AddRowVector(a, v *Matrix) *Matrix {
 			orow[j] = x + v.Data[j]
 		}
 	}
-	return out
 }
 
 // Apply returns f applied elementwise to a.
 func Apply(a *Matrix, f func(float64) float64) *Matrix {
 	out := New(a.Rows, a.Cols)
+	ApplyInto(a, f, out)
+	return out
+}
+
+// ApplyInto computes out = f(a) elementwise.
+func ApplyInto(a *Matrix, f func(float64) float64, out *Matrix) {
+	mustShape("Apply destination", out, a.Rows, a.Cols)
 	for i, v := range a.Data {
 		out.Data[i] = f(v)
 	}
-	return out
 }
 
 // Sum returns the sum of all entries.
@@ -218,8 +306,16 @@ func Norm(a *Matrix) float64 {
 // MeanRows returns the 1 x Cols row vector of column means.
 func MeanRows(a *Matrix) *Matrix {
 	out := New(1, a.Cols)
+	MeanRowsInto(a, out)
+	return out
+}
+
+// MeanRowsInto computes the column means into a 1 x Cols destination.
+func MeanRowsInto(a, out *Matrix) {
+	mustShape("MeanRows destination", out, 1, a.Cols)
+	out.Zero()
 	if a.Rows == 0 {
-		return out
+		return
 	}
 	for i := 0; i < a.Rows; i++ {
 		row := a.Data[i*a.Cols : (i+1)*a.Cols]
@@ -231,7 +327,6 @@ func MeanRows(a *Matrix) *Matrix {
 	for j := range out.Data {
 		out.Data[j] *= inv
 	}
-	return out
 }
 
 // MaxRows returns the 1 x Cols row vector of column maxima and, for each
@@ -239,8 +334,22 @@ func MeanRows(a *Matrix) *Matrix {
 func MaxRows(a *Matrix) (*Matrix, []int) {
 	out := New(1, a.Cols)
 	arg := make([]int, a.Cols)
+	MaxRowsInto(a, out, arg)
+	return out, arg
+}
+
+// MaxRowsInto computes column maxima and argmax rows into caller buffers.
+func MaxRowsInto(a, out *Matrix, arg []int) {
+	mustShape("MaxRows destination", out, 1, a.Cols)
+	if len(arg) != a.Cols {
+		panic(fmt.Sprintf("tensor: MaxRows arg length %d, want %d", len(arg), a.Cols))
+	}
+	for j := range arg {
+		arg[j] = 0
+	}
 	if a.Rows == 0 {
-		return out, arg
+		out.Zero()
+		return
 	}
 	copy(out.Data, a.Data[:a.Cols])
 	for i := 1; i < a.Rows; i++ {
@@ -252,16 +361,21 @@ func MaxRows(a *Matrix) (*Matrix, []int) {
 			}
 		}
 	}
-	return out, arg
 }
 
 // GatherRows returns the matrix whose i-th row is a's row idx[i].
 func GatherRows(a *Matrix, idx []int) *Matrix {
 	out := New(len(idx), a.Cols)
+	GatherRowsInto(a, idx, out)
+	return out
+}
+
+// GatherRowsInto gathers a's rows idx into out.
+func GatherRowsInto(a *Matrix, idx []int, out *Matrix) {
+	mustShape("GatherRows destination", out, len(idx), a.Cols)
 	for i, r := range idx {
 		copy(out.Row(i), a.Row(r))
 	}
-	return out
 }
 
 // ConcatCols returns [a | b], the horizontal concatenation of a and b.
@@ -270,11 +384,20 @@ func ConcatCols(a, b *Matrix) *Matrix {
 		panic(fmt.Sprintf("tensor: ConcatCols row mismatch %d vs %d", a.Rows, b.Rows))
 	}
 	out := New(a.Rows, a.Cols+b.Cols)
+	ConcatColsInto(a, b, out)
+	return out
+}
+
+// ConcatColsInto writes [a | b] into out.
+func ConcatColsInto(a, b, out *Matrix) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: ConcatCols row mismatch %d vs %d", a.Rows, b.Rows))
+	}
+	mustShape("ConcatCols destination", out, a.Rows, a.Cols+b.Cols)
 	for i := 0; i < a.Rows; i++ {
 		copy(out.Data[i*out.Cols:], a.Row(i))
 		copy(out.Data[i*out.Cols+a.Cols:], b.Row(i))
 	}
-	return out
 }
 
 // ConcatRows returns the vertical concatenation of a above b.
@@ -295,5 +418,11 @@ func ConcatRows(a, b *Matrix) *Matrix {
 func mustSameShape(op string, a, b *Matrix) {
 	if !a.SameShape(b) {
 		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+func mustShape(what string, m *Matrix, rows, cols int) {
+	if m.Rows != rows || m.Cols != cols {
+		panic(fmt.Sprintf("tensor: %s is %dx%d, want %dx%d", what, m.Rows, m.Cols, rows, cols))
 	}
 }

@@ -3,6 +3,7 @@ package tensor
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 	"testing/quick"
 )
@@ -225,5 +226,55 @@ func BenchmarkMatMul128(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		MatMul(x, y)
+	}
+}
+
+func TestMatMulTransAParallelPathMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	// Work = a.Cols * b.Cols * a.Rows above parallelThreshold.
+	a := RandNormal(rng, 80, 128, 1)
+	b := RandNormal(rng, 80, 96, 1)
+	if !MatMulTransA(a, b).AllClose(naiveMatMul(a.T(), b), 1e-8) {
+		t.Fatal("parallel MatMulTransA diverges from naive")
+	}
+}
+
+func TestMatMulTransBParallelPathMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	a := RandNormal(rng, 128, 80, 1)
+	b := RandNormal(rng, 96, 80, 1)
+	if !MatMulTransB(a, b).AllClose(naiveMatMul(a, b.T()), 1e-8) {
+		t.Fatal("parallel MatMulTransB diverges from naive")
+	}
+}
+
+// TestParallelOpsBitIdenticalAcrossWorkerCounts pins the determinism contract
+// of the parallel kernels: each output element is produced by exactly one
+// goroutine with the same ascending-k accumulation order, so changing
+// GOMAXPROCS must not change a single bit.
+func TestParallelOpsBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	a := RandNormal(rng, 128, 96, 1)
+	b := RandNormal(rng, 96, 112, 1)
+	s := SparseFromDense(randomDAGDense(rng, 192, 0.4))
+	x := RandNormal(rng, 192, 64, 1)
+
+	c := RandNormal(rng, 112, 96, 1)
+	d := RandNormal(rng, 128, 112, 1)
+
+	prev := runtime.GOMAXPROCS(1)
+	mm1 := MatMul(a, b)
+	ta1 := MatMulTransA(a, d)
+	tb1 := MatMulTransB(a, c)
+	sp1 := SpMM(s, x)
+	runtime.GOMAXPROCS(4)
+	mm4 := MatMul(a, b)
+	ta4 := MatMulTransA(a, d)
+	tb4 := MatMulTransB(a, c)
+	sp4 := SpMM(s, x)
+	runtime.GOMAXPROCS(prev)
+
+	if !mm1.Equal(mm4) || !ta1.Equal(ta4) || !tb1.Equal(tb4) || !sp1.Equal(sp4) {
+		t.Fatal("parallel results depend on GOMAXPROCS")
 	}
 }

@@ -1,0 +1,79 @@
+package tensor
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Buffer pooling for hot-path scratch matrices.
+//
+// Training and serving allocate the same handful of matrix shapes millions of
+// times (one set of intermediates per scheduling decision). GetPooled hands
+// out zeroed matrices whose backing slices come from size-bucketed
+// sync.Pools; PutPooled returns them. Buckets are powers of two, so a
+// recycled buffer serves every shape in its size class and the pool never
+// fragments across the many slightly-different sub-DAG sizes.
+//
+// Pooling is strictly opt-in: New remains a plain allocation, and a pooled
+// matrix behaves exactly like any other Matrix. Callers own the lifetime —
+// returning a buffer that is still referenced elsewhere is the caller's bug,
+// exactly as with any free list.
+
+// maxPoolBucket bounds the pooled size classes: buffers beyond 2^22 floats
+// (32 MiB) are handed to the garbage collector instead of being retained.
+const maxPoolBucket = 22
+
+var bufPools [maxPoolBucket + 1]sync.Pool
+
+// bucketFor returns the smallest power-of-two size class holding n floats,
+// or -1 when n is too large to pool.
+func bucketFor(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	b := bits.Len(uint(n - 1))
+	if b > maxPoolBucket {
+		return -1
+	}
+	return b
+}
+
+// GetPooled returns a zeroed rows x cols matrix backed by a recycled buffer
+// when one is available. Return it with PutPooled once no reference escapes.
+func GetPooled(rows, cols int) *Matrix {
+	n := rows * cols
+	b := bucketFor(n)
+	if b < 0 {
+		return New(rows, cols)
+	}
+	var data []float64
+	if v := bufPools[b].Get(); v != nil {
+		data = v.([]float64)[:n]
+		for i := range data {
+			data[i] = 0
+		}
+	} else {
+		data = make([]float64, n, 1<<b)
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// PutPooled returns m's backing buffer to its size-class pool. The matrix
+// must not be used afterwards. Matrices whose capacity is not a pooled size
+// class (e.g. built with New or FromSlice) are silently dropped.
+func PutPooled(m *Matrix) {
+	if m == nil || m.Data == nil {
+		return
+	}
+	data := m.Data
+	m.Data = nil // the matrix must not be used after Put, pooled or not
+	c := cap(data)
+	if c == 0 {
+		return
+	}
+	b := bucketFor(c)
+	if b < 0 || 1<<b != c {
+		return // not one of ours; let the GC have it
+	}
+	bufPools[b].Put(data[:0])
+}

@@ -1,0 +1,61 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBucketForClasses(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := bucketFor(n); got != want {
+			t.Fatalf("bucketFor(%d) = %d, want %d", n, got, want)
+		}
+	}
+	if bucketFor(1<<maxPoolBucket+1) != -1 {
+		t.Fatal("oversized buffers must not pool")
+	}
+}
+
+func TestGetPooledIsZeroedAfterDirtyPut(t *testing.T) {
+	m := GetPooled(4, 5)
+	for i := range m.Data {
+		m.Data[i] = 42
+	}
+	PutPooled(m)
+	if m.Data != nil {
+		t.Fatal("PutPooled must clear the matrix's slice")
+	}
+	// Whether or not the next Get recycles the same buffer, it must be zero.
+	n := GetPooled(3, 7)
+	for i, v := range n.Data {
+		if v != 0 {
+			t.Fatalf("recycled buffer not zeroed at %d: %v", i, v)
+		}
+	}
+	PutPooled(n)
+}
+
+func TestPutPooledDropsForeignBuffers(t *testing.T) {
+	// Buffers whose capacity is not a pool size class (plain New/FromSlice
+	// allocations) must be silently dropped, not corrupt a pool class.
+	m := &Matrix{Rows: 1, Cols: 3, Data: make([]float64, 3, 3)}
+	PutPooled(m)
+	if m.Data != nil {
+		t.Fatal("foreign buffer should still be detached")
+	}
+	PutPooled(nil) // must not panic
+}
+
+func TestPooledMatrixBehavesLikeNew(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := RandNormal(rng, 8, 8, 1)
+	b := RandNormal(rng, 8, 8, 1)
+	want := MatMul(a, b)
+	out := GetPooled(8, 8)
+	MatMulInto(a, b, out)
+	if !out.Equal(want) {
+		t.Fatal("MatMulInto into a pooled matrix diverges")
+	}
+	PutPooled(out)
+}
