@@ -1,20 +1,25 @@
 # Pre-merge checks for the READYS reproduction.
 #
 #   make check       — everything a PR must pass: build, vet, tests, race
-#                      tests, observability smoke test, bench smoke test
-#   make race        — just the race-detector runs (serving, agent core, RL)
+#                      tests, observability smoke test, bench smoke test,
+#                      fleet smoke test
+#   make race        — just the race-detector runs (serving, agent core, RL,
+#                      fleet)
 #   make obs-smoke   — end-to-end telemetry/trace pipeline check
+#   make fleet-smoke — dispatcher + worker end-to-end check (train job,
+#                      artifact verification, train → serve publish)
 #   make bench       — hot-path benchmark snapshot (writes BENCH_<rev>.json)
 #   make bench-smoke — fast readys-bench sanity run (part of make check)
 #   make bench-serve — serving-throughput benchmark
 #   make serve       — run the scheduling daemon against ./models
+#   make fleet       — run the fleet dispatcher, publishing into ./models
 
 GO ?= go
 OBS_TMP ?= /tmp/readys-obs-smoke
 
-.PHONY: check build vet test race obs-smoke bench bench-smoke bench-serve serve
+.PHONY: check build vet test race obs-smoke fleet-smoke bench bench-smoke bench-serve serve fleet
 
-check: build vet test race obs-smoke bench-smoke
+check: build vet test race obs-smoke fleet-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -26,10 +31,11 @@ test:
 	$(GO) test ./...
 
 # Concurrency-sensitive packages run under the race detector: internal/serve
-# (registry, pool, handlers), internal/core (shared-agent inference), and
-# internal/rl (parallel batch rollouts).
+# (registry, pool, handlers), internal/core (shared-agent inference),
+# internal/rl (parallel batch rollouts), and internal/fleet (dispatcher,
+# leases, workers).
 race:
-	$(GO) test -race ./internal/serve/... ./internal/core/... ./internal/rl/...
+	$(GO) test -race ./internal/serve/... ./internal/core/... ./internal/rl/... ./internal/fleet/...
 
 # End-to-end observability check: train a tiny agent with -telemetry, simulate
 # one DAG with -trace, then assert both artifacts are valid and non-empty.
@@ -58,5 +64,14 @@ bench-smoke:
 bench-serve:
 	$(GO) test -bench BenchmarkServeScheduleThroughput -benchtime 2s -run '^$$' ./internal/serve/
 
+# End-to-end fleet check: an in-process dispatcher and worker run one tiny
+# train job through the wire protocol, then the checkpoint artifact, history
+# JSONL and the published train → serve copy are verified.
+fleet-smoke:
+	$(GO) run ./cmd/readys-fleet -smoke
+
 serve:
 	$(GO) run ./cmd/readys-serve -addr :8080 -models models
+
+fleet:
+	$(GO) run ./cmd/readys-fleet -addr :9090 -dir fleet -publish models

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"readys/internal/core"
+	"readys/internal/exp"
+	"readys/internal/fleet"
+	"readys/internal/obs"
+	"readys/internal/taskgraph"
+)
+
+// runSmoke is `make fleet-smoke`: a real dispatcher on a loopback listener,
+// one worker, one tiny train job end-to-end, and the artifact verified —
+// digest, loadable checkpoint, decodable history. Everything lives in a
+// temp directory and a few seconds.
+func runSmoke(logger *log.Logger) error {
+	tmp, err := os.MkdirTemp("", "readys-fleet-smoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	cfg := fleet.DefaultConfig()
+	cfg.WALPath = filepath.Join(tmp, "queue.wal")
+	cfg.ArtifactsDir = filepath.Join(tmp, "artifacts")
+	cfg.LeaseTTL = 5 * time.Second
+	cfg.Logger = logger
+	cfg.Publisher = fleet.DirPublisher{Dir: filepath.Join(tmp, "published")}
+	d, err := fleet.NewDispatcher(cfg)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: d.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	spec := exp.DefaultAgentSpec(taskgraph.Cholesky, 2, 1, 1)
+	client := fleet.NewClient(base)
+	job, _, err := client.Submit(fleet.JobSpec{
+		Type:  fleet.JobTrain,
+		Train: &fleet.TrainSpec{Agent: spec, Episodes: 5},
+	})
+	if err != nil {
+		return fmt.Errorf("submitting smoke job: %w", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	worker := fleet.NewWorker(fleet.WorkerConfig{
+		Dispatcher:   base,
+		Name:         "smoke",
+		PollInterval: 50 * time.Millisecond,
+		ModelsDir:    filepath.Join(tmp, "worker-models"),
+		Logger:       logger,
+	})
+	workerDone := make(chan error, 1)
+	go func() { workerDone <- worker.Run(ctx) }()
+
+	var finished *fleet.Job
+	for finished == nil {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("smoke job %s did not finish in time", job.ID)
+		case <-time.After(100 * time.Millisecond):
+		}
+		j, err := client.Job(job.ID)
+		if err != nil {
+			return err
+		}
+		switch j.State {
+		case fleet.StateDone:
+			finished = j
+		case fleet.StateFailed:
+			return fmt.Errorf("smoke job failed: %s", j.Error)
+		}
+	}
+	cancel()
+	if err := <-workerDone; err != nil {
+		return fmt.Errorf("worker shutdown: %w", err)
+	}
+
+	// Verify the checkpoint artifact: content address, loadability, and the
+	// published train → serve copy.
+	digest, ok := finished.Artifacts[fleet.ArtifactCheckpoint]
+	if !ok {
+		return fmt.Errorf("smoke job has no checkpoint artifact")
+	}
+	data, err := client.GetArtifact(digest) // digest re-verified client-side
+	if err != nil {
+		return err
+	}
+	ckpt := filepath.Join(tmp, "smoke-checkpoint.json")
+	if err := os.WriteFile(ckpt, data, 0o644); err != nil {
+		return err
+	}
+	agent := core.NewAgent(spec.AgentConfig())
+	if _, err := agent.LoadCheckpoint(ckpt); err != nil {
+		return fmt.Errorf("trained checkpoint does not load: %w", err)
+	}
+	histDigest, ok := finished.Artifacts[fleet.ArtifactHistory]
+	if !ok {
+		return fmt.Errorf("smoke job has no history artifact")
+	}
+	hist, err := client.GetArtifact(histDigest)
+	if err != nil {
+		return err
+	}
+	lines, err := obs.DecodeJSONLines(hist)
+	if err != nil {
+		return fmt.Errorf("history artifact is not valid JSONL: %w", err)
+	}
+	if len(lines) != 5 {
+		return fmt.Errorf("history has %d episodes, want 5", len(lines))
+	}
+	published := filepath.Join(tmp, "published", spec.Name()+".json")
+	if _, err := os.Stat(published); err != nil {
+		return fmt.Errorf("checkpoint was not published for serving: %w", err)
+	}
+	logger.Printf("fleet smoke ok: %s done, checkpoint %s… loads, %d history lines, published",
+		finished.ID, digest[:12], len(lines))
+	return nil
+}

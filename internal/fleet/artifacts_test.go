@@ -1,0 +1,78 @@
+package fleet
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"readys/internal/exp"
+)
+
+func TestArtifactStoreRoundTrip(t *testing.T) {
+	store, err := NewArtifactStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("the quick brown fox")
+	digest, err := store.Put(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digest != exp.HashBytes(data) {
+		t.Fatalf("Put returned %s, want the content hash %s", digest, exp.HashBytes(data))
+	}
+	if !store.Has(digest) {
+		t.Fatal("Has reports the stored digest missing")
+	}
+	got, err := store.Get(digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("Get returned %q, want %q", got, data)
+	}
+	// Idempotent: re-putting the same bytes yields the same digest.
+	again, err := store.Put(data)
+	if err != nil || again != digest {
+		t.Fatalf("second Put = (%s, %v), want (%s, nil)", again, err, digest)
+	}
+}
+
+func TestArtifactStoreRejectsBadDigests(t *testing.T) {
+	store, err := NewArtifactStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"", "nope", "../../etc/passwd", strings.Repeat("g", 64)} {
+		if store.Has(bad) {
+			t.Errorf("Has(%q) = true", bad)
+		}
+		if _, err := store.Get(bad); err == nil {
+			t.Errorf("Get(%q) succeeded", bad)
+		}
+	}
+	if _, err := store.Get(strings.Repeat("a", 64)); err == nil {
+		t.Error("Get of an absent (well-formed) digest succeeded")
+	}
+}
+
+func TestArtifactStoreDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewArtifactStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest, err := store.Put([]byte("original bytes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip the stored blob behind the store's back.
+	path := store.path(digest)
+	if err := os.WriteFile(path, []byte("tampered bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Get(digest); err == nil {
+		t.Fatal("Get returned tampered content without an integrity error")
+	}
+}

@@ -1,0 +1,215 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"readys/internal/exp"
+)
+
+// Client is the typed HTTP client of the fleet API, used by workers, the
+// grid submitter and tests. It is safe for concurrent use.
+type Client struct {
+	// BaseURL is the dispatcher root, e.g. "http://127.0.0.1:9090".
+	BaseURL string
+	// HTTPClient defaults to a client with a 30s timeout.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the dispatcher at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{
+		BaseURL:    baseURL,
+		HTTPClient: &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do sends a JSON request and decodes a JSON response into out (out may be
+// nil). wantStatus lists acceptable statuses; anything else is decoded as an
+// ErrorResponse.
+func (c *Client) do(method, path string, body, out any, wantStatus ...int) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return 0, fmt.Errorf("fleet: encoding request: %w", err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.BaseURL+path, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	for _, s := range wantStatus {
+		if resp.StatusCode == s {
+			if out != nil && resp.StatusCode != http.StatusNoContent {
+				if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+					return resp.StatusCode, fmt.Errorf("fleet: decoding response: %w", err)
+				}
+			}
+			return resp.StatusCode, nil
+		}
+	}
+	var e ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+		return resp.StatusCode, fmt.Errorf("fleet: %s %s: unexpected status %d", method, path, resp.StatusCode)
+	}
+	return resp.StatusCode, fmt.Errorf("fleet: %s %s: %s (status %d)", method, path, e.Error, resp.StatusCode)
+}
+
+// Submit enqueues (or dedups) a job.
+func (c *Client) Submit(spec JobSpec) (*Job, bool, error) {
+	var resp SubmitResponse
+	if _, err := c.do(http.MethodPost, "/v1/jobs", SubmitRequest{Spec: spec}, &resp, http.StatusOK); err != nil {
+		return nil, false, err
+	}
+	return resp.Job, resp.Deduped, nil
+}
+
+// Jobs lists every job on the dispatcher.
+func (c *Client) Jobs() ([]*Job, error) {
+	var resp JobsResponse
+	if _, err := c.do(http.MethodGet, "/v1/jobs", nil, &resp, http.StatusOK); err != nil {
+		return nil, err
+	}
+	return resp.Jobs, nil
+}
+
+// Job fetches one job by ID.
+func (c *Client) Job(id string) (*Job, error) {
+	var j Job
+	if _, err := c.do(http.MethodGet, "/v1/jobs/"+id, nil, &j, http.StatusOK); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// Register registers a worker and returns its ID plus the lease TTL.
+func (c *Client) Register(name string) (string, time.Duration, error) {
+	var resp RegisterResponse
+	if _, err := c.do(http.MethodPost, "/v1/workers/register", RegisterRequest{Name: name}, &resp, http.StatusOK); err != nil {
+		return "", 0, err
+	}
+	return resp.WorkerID, time.Duration(resp.LeaseTTLMS) * time.Millisecond, nil
+}
+
+// Deregister removes the worker from the dispatcher.
+func (c *Client) Deregister(workerID string) error {
+	_, err := c.do(http.MethodPost, "/v1/workers/deregister", WorkerRequest{WorkerID: workerID}, nil, http.StatusOK)
+	return err
+}
+
+// Lease pulls the next job; (nil, 0, nil) means the queue had nothing
+// eligible.
+func (c *Client) Lease(workerID string) (*Job, time.Duration, error) {
+	var resp LeaseResponse
+	status, err := c.do(http.MethodPost, "/v1/lease", WorkerRequest{WorkerID: workerID}, &resp,
+		http.StatusOK, http.StatusNoContent)
+	if err != nil {
+		return nil, 0, err
+	}
+	if status == http.StatusNoContent {
+		return nil, 0, nil
+	}
+	return resp.Job, time.Duration(resp.LeaseTTLMS) * time.Millisecond, nil
+}
+
+// Heartbeat extends the lease; ErrLeaseLost when the dispatcher already
+// requeued the job (the worker must abandon it).
+func (c *Client) Heartbeat(workerID, jobID string, p *Progress) error {
+	status, err := c.do(http.MethodPost, "/v1/heartbeat",
+		HeartbeatRequest{WorkerID: workerID, JobID: jobID, Progress: p}, nil, http.StatusOK)
+	if status == http.StatusConflict {
+		return ErrLeaseLost
+	}
+	return err
+}
+
+// Complete finishes a job with its uploaded artifacts.
+func (c *Client) Complete(workerID, jobID string, artifacts map[string]string, result json.RawMessage) error {
+	status, err := c.do(http.MethodPost, "/v1/complete",
+		CompleteRequest{WorkerID: workerID, JobID: jobID, Artifacts: artifacts, Result: result}, nil, http.StatusOK)
+	if status == http.StatusConflict {
+		return ErrLeaseLost
+	}
+	return err
+}
+
+// Fail reports a job failure so the dispatcher requeues it elsewhere.
+func (c *Client) Fail(workerID, jobID, msg string) error {
+	status, err := c.do(http.MethodPost, "/v1/fail",
+		FailRequest{WorkerID: workerID, JobID: jobID, Error: msg}, nil, http.StatusOK)
+	if status == http.StatusConflict {
+		return ErrLeaseLost
+	}
+	return err
+}
+
+// PutArtifact uploads bytes to the content-addressed store and returns the
+// digest, verifying it client-side.
+func (c *Client) PutArtifact(data []byte) (string, error) {
+	req, err := http.NewRequest(http.MethodPut, c.BaseURL+"/v1/artifacts", bytes.NewReader(data))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e ErrorResponse
+		json.NewDecoder(resp.Body).Decode(&e)
+		return "", fmt.Errorf("fleet: uploading artifact: %s (status %d)", e.Error, resp.StatusCode)
+	}
+	var out PutArtifactResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", fmt.Errorf("fleet: decoding upload response: %w", err)
+	}
+	if want := exp.HashBytes(data); out.Digest != want {
+		return "", fmt.Errorf("fleet: dispatcher hashed artifact to %s, local digest %s", out.Digest, want)
+	}
+	return out.Digest, nil
+}
+
+// GetArtifact downloads a blob and verifies it against its content address.
+func (c *Client) GetArtifact(digest string) ([]byte, error) {
+	resp, err := c.httpClient().Get(c.BaseURL + "/v1/artifacts/" + digest)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e ErrorResponse
+		json.NewDecoder(resp.Body).Decode(&e)
+		return nil, fmt.Errorf("fleet: fetching artifact %s: %s (status %d)", digest, e.Error, resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if got := exp.HashBytes(data); got != digest {
+		return nil, fmt.Errorf("fleet: artifact %s corrupt in transit (content hashes to %s)", digest, got)
+	}
+	return data, nil
+}

@@ -1,0 +1,74 @@
+package fleet
+
+import (
+	"readys/internal/exp"
+	"readys/internal/taskgraph"
+)
+
+// Priorities of the paper grid: training runs first so evaluation sweeps
+// find their checkpoints published (and otherwise fall back to training
+// locally via exp.LoadOrTrain, which is correct but wasteful).
+const (
+	PriorityTrain = 10
+	PriorityEval  = 5
+	PriorityFig   = 0
+)
+
+// PaperGrid returns the full evaluation grid of the paper as fleet jobs:
+// every trained agent the figures need (Figure 3's kernels × sizes plus the
+// transfer experiments' platforms), one evaluation sweep per figure cell,
+// and the model-free inference-time figure. Job hashes dedup resubmission,
+// so posting the grid twice is idempotent.
+func PaperGrid() []JobSpec {
+	var jobs []JobSpec
+	seen := map[string]bool{}
+	train := func(spec exp.AgentSpec) {
+		if seen[spec.Name()] {
+			return
+		}
+		seen[spec.Name()] = true
+		jobs = append(jobs, JobSpec{
+			Type:     JobTrain,
+			Priority: PriorityTrain,
+			Train:    &TrainSpec{Agent: spec},
+		})
+	}
+	eval := func(e exp.EvalSpec) {
+		jobs = append(jobs, JobSpec{Type: JobEval, Priority: PriorityEval, Eval: &e})
+	}
+
+	// Figure 3: three kernels × T ∈ {2, 4, 8} on 2 CPUs + 2 GPUs, evaluated
+	// on the training size (evaluation seed 42, as in exp.Figure3).
+	for _, kind := range []taskgraph.Kind{taskgraph.Cholesky, taskgraph.LU, taskgraph.QR} {
+		for _, T := range []int{2, 4, 8} {
+			spec := exp.DefaultAgentSpec(kind, T, 2, 2)
+			train(spec)
+			e := exp.DefaultEvalSpec(spec, T)
+			eval(e)
+		}
+	}
+
+	// Figures 4-6: transfer learning — Cholesky agents trained on
+	// T ∈ {4, 6, 8}, tested unchanged on T ∈ {10, 12}, on 4 CPUs,
+	// 2 CPUs + 2 GPUs and 4 GPUs (evaluation seed 43, as in
+	// exp.TransferFigure).
+	for _, plat := range [][2]int{{4, 0}, {2, 2}, {0, 4}} {
+		for _, trainT := range []int{4, 6, 8} {
+			spec := exp.DefaultAgentSpec(taskgraph.Cholesky, trainT, plat[0], plat[1])
+			train(spec)
+			for _, testT := range []int{10, 12} {
+				e := exp.DefaultEvalSpec(spec, testT)
+				e.Seed = 43
+				eval(e)
+			}
+		}
+	}
+
+	// Figure 7 needs no trained model: inference time per decision.
+	jobs = append(jobs, JobSpec{
+		Type:     JobFigure,
+		Priority: PriorityFig,
+		Figure:   &FigureSpec{Name: "figure7"},
+	})
+	return jobs
+}

@@ -1,0 +1,229 @@
+// Package fleet is the distributed dispatch layer of the READYS stack: a
+// dispatcher daemon owning a durable priority queue of typed experiment jobs
+// (training runs, evaluation sweeps, figure regeneration) and a fleet of
+// worker daemons that pull jobs under time-bounded leases, stream progress
+// through heartbeats, and upload their results to a content-addressed
+// artifact store.
+//
+// The design is the standard shape of a fault-tolerant training/inference
+// fleet:
+//
+//   - the queue is a JSONL write-ahead log replayed on restart (and compacted
+//     in place), so a dispatcher crash loses no acknowledged job;
+//   - workers hold jobs under leases with heartbeats; a missed heartbeat
+//     expires the lease and requeues the job with exponential backoff, the
+//     failing worker excluded, until a bounded retry budget is spent;
+//   - jobs are deduplicated by the canonical spec hash of internal/exp, so
+//     resubmitting the paper grid is idempotent;
+//   - artifacts (agent checkpoints, per-episode history JSONL, result tables)
+//     are stored content-addressed by SHA-256, and a completed training job
+//     can publish its checkpoint straight into internal/serve's model
+//     registry, closing the train → serve loop.
+//
+// Everything is stdlib-only, like the rest of the repository.
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"readys/internal/exp"
+)
+
+// JobType discriminates the payload of a JobSpec.
+type JobType string
+
+// The job types the fleet executes.
+const (
+	JobTrain  JobType = "train"  // one exp.TrainAgentWith run
+	JobEval   JobType = "eval"   // one exp.EvalSpec sweep
+	JobFigure JobType = "figure" // one figure regeneration by name
+)
+
+// TrainSpec is the payload of a train job.
+type TrainSpec struct {
+	Agent exp.AgentSpec `json:"agent"`
+	// Episodes is the training budget; 0 selects the size-scaled default
+	// (exp.EpisodesFor).
+	Episodes int `json:"episodes,omitempty"`
+}
+
+// EpisodeBudget resolves the effective episode count.
+func (t TrainSpec) EpisodeBudget() int {
+	if t.Episodes > 0 {
+		return t.Episodes
+	}
+	return exp.EpisodesFor(t.Agent.Kind, t.Agent.T)
+}
+
+// FigureSpec is the payload of a figure job.
+type FigureSpec struct {
+	// Name is one of exp.FigureNames(): "figure3" … "figure7".
+	Name string `json:"name"`
+}
+
+// JobSpec is the typed, client-submitted description of one unit of work.
+// Exactly one payload field matching Type must be set.
+type JobSpec struct {
+	Type JobType `json:"type"`
+	// Priority orders the queue: higher runs first; ties run in submission
+	// order. The paper grid submits training at high priority so evaluation
+	// sweeps find their checkpoints published.
+	Priority int           `json:"priority,omitempty"`
+	Train    *TrainSpec    `json:"train,omitempty"`
+	Eval     *exp.EvalSpec `json:"eval,omitempty"`
+	Figure   *FigureSpec   `json:"figure,omitempty"`
+}
+
+// Validate rejects malformed specs before they reach the queue.
+func (s JobSpec) Validate() error {
+	set := 0
+	if s.Train != nil {
+		set++
+	}
+	if s.Eval != nil {
+		set++
+	}
+	if s.Figure != nil {
+		set++
+	}
+	if set != 1 {
+		return fmt.Errorf("fleet: job spec must set exactly one payload, got %d", set)
+	}
+	switch s.Type {
+	case JobTrain:
+		if s.Train == nil {
+			return fmt.Errorf("fleet: type %q without train payload", s.Type)
+		}
+		if s.Train.Agent.T < 1 || s.Train.Agent.NumCPU+s.Train.Agent.NumGPU < 1 {
+			return fmt.Errorf("fleet: train spec needs T >= 1 and at least one resource")
+		}
+	case JobEval:
+		if s.Eval == nil {
+			return fmt.Errorf("fleet: type %q without eval payload", s.Type)
+		}
+		if err := s.Eval.Validate(); err != nil {
+			return err
+		}
+	case JobFigure:
+		if s.Figure == nil {
+			return fmt.Errorf("fleet: type %q without figure payload", s.Type)
+		}
+		found := false
+		for _, n := range exp.FigureNames() {
+			if n == s.Figure.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("fleet: unknown figure %q", s.Figure.Name)
+		}
+	default:
+		return fmt.Errorf("fleet: unknown job type %q", s.Type)
+	}
+	return nil
+}
+
+// Hash is the canonical dedup identity of the spec: the exp-level spec hash
+// under a per-type domain. Priority is deliberately excluded — resubmitting
+// the same work at a different priority must dedup onto the existing job.
+func (s JobSpec) Hash() string {
+	switch s.Type {
+	case JobTrain:
+		return string(JobTrain) + ":" + s.Train.Agent.Hash() + fmt.Sprintf(":ep%d", s.Train.EpisodeBudget())
+	case JobEval:
+		return string(JobEval) + ":" + s.Eval.Hash()
+	case JobFigure:
+		return string(JobFigure) + ":" + s.Figure.Name
+	}
+	return "invalid"
+}
+
+// JobState is the lifecycle state of a job.
+type JobState string
+
+// Job lifecycle. pending → running → done, with running → pending again on
+// lease expiry or worker failure (bounded by MaxAttempts, then failed).
+const (
+	StatePending JobState = "pending"
+	StateRunning JobState = "running"
+	StateDone    JobState = "done"
+	StateFailed  JobState = "failed"
+)
+
+// Progress is the episode-level statistics a worker piggy-backs on its
+// heartbeats for a running training job.
+type Progress struct {
+	Episode  int     `json:"episode"`
+	Episodes int     `json:"episodes"`
+	Reward   float64 `json:"reward"`
+	Makespan float64 `json:"makespan"`
+}
+
+// Job is one queue entry: the spec plus all dispatcher-owned lifecycle
+// state. The full record is what the WAL persists on every transition.
+type Job struct {
+	ID   string  `json:"id"`
+	Hash string  `json:"hash"`
+	Spec JobSpec `json:"spec"`
+
+	State    JobState `json:"state"`
+	Seq      int64    `json:"seq"`      // submission order, tie-breaker within a priority
+	Attempts int      `json:"attempts"` // lease grants so far
+
+	// Worker is the current lease holder (running jobs only).
+	Worker string `json:"worker,omitempty"`
+	// Excluded lists workers that held an expired or failed lease on this
+	// job; the queue will not lease it to them again.
+	Excluded []string `json:"excluded_workers,omitempty"`
+	// NotBefore delays re-leasing after a failure (exponential backoff).
+	NotBefore time.Time `json:"not_before,omitempty"`
+
+	// Error is the last failure message (failed jobs, or the reason behind
+	// the most recent requeue).
+	Error string `json:"error,omitempty"`
+	// Artifacts maps logical artifact names ("checkpoint", "history",
+	// "result") to content digests in the dispatcher's artifact store.
+	Artifacts map[string]string `json:"artifacts,omitempty"`
+	// Result is a small job-type-specific summary returned by the worker.
+	Result json.RawMessage `json:"result,omitempty"`
+	// Progress is the latest heartbeat-reported training progress.
+	Progress *Progress `json:"progress,omitempty"`
+
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at,omitempty"`
+	FinishedAt  time.Time `json:"finished_at,omitempty"`
+}
+
+// excludes reports whether the job must not be leased to worker.
+func (j *Job) excludes(worker string) bool {
+	for _, w := range j.Excluded {
+		if w == worker {
+			return true
+		}
+	}
+	return false
+}
+
+// clone returns a deep copy safe to hand to HTTP encoding outside the
+// dispatcher lock.
+func (j *Job) clone() *Job {
+	c := *j
+	c.Excluded = append([]string(nil), j.Excluded...)
+	if j.Artifacts != nil {
+		c.Artifacts = make(map[string]string, len(j.Artifacts))
+		for k, v := range j.Artifacts {
+			c.Artifacts[k] = v
+		}
+	}
+	if j.Result != nil {
+		c.Result = append(json.RawMessage(nil), j.Result...)
+	}
+	if j.Progress != nil {
+		p := *j.Progress
+		c.Progress = &p
+	}
+	return &c
+}

@@ -1,0 +1,45 @@
+package fleet
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// DirPublisher publishes completed training checkpoints into a model
+// directory — the directory a readys-serve daemon (or eval workers with a
+// shared filesystem) loads from. Writes are atomic (temp file + rename), so
+// a concurrent reader never observes a torn checkpoint.
+type DirPublisher struct {
+	Dir string
+}
+
+// Publish writes data to Dir/base atomically. base must be a bare file name
+// (the canonical model name); path traversal is rejected.
+func (p DirPublisher) Publish(base string, data []byte) error {
+	if base == "" || base != filepath.Base(base) || strings.ContainsAny(base, "/\\") {
+		return fmt.Errorf("fleet: invalid publish name %q", base)
+	}
+	if err := os.MkdirAll(p.Dir, 0o755); err != nil {
+		return fmt.Errorf("fleet: creating publish dir: %w", err)
+	}
+	tmp, err := os.CreateTemp(p.Dir, ".publish-*")
+	if err != nil {
+		return fmt.Errorf("fleet: staging %s: %w", base, err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("fleet: writing %s: %w", base, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(p.Dir, base)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("fleet: installing %s: %w", base, err)
+	}
+	return nil
+}

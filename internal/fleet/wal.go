@@ -1,0 +1,178 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// WAL is the dispatcher's write-ahead log: one JSON record per line, each
+// holding the full job after a state transition (last-writer-wins replay).
+// Appends are fsynced before the transition is acknowledged, so a dispatcher
+// crash never loses an acknowledged job and never resurrects an
+// unacknowledged one. A partially written trailing line (crash mid-append)
+// is detected and dropped on replay.
+type WAL struct {
+	path string
+	f    *os.File
+	bw   *bufio.Writer
+	// records counts lines in the file (live + superseded); the dispatcher
+	// compacts when it outgrows the live set.
+	records int
+}
+
+// walRecord is one WAL line. Op is always "put" today; the field keeps the
+// format self-describing so later ops (e.g. tombstones) stay loadable.
+type walRecord struct {
+	Op  string `json:"op"`
+	Job *Job   `json:"job"`
+}
+
+// OpenWAL replays the log at path (creating it if missing) and returns the
+// WAL opened for append plus the live jobs in replay order. Jobs that were
+// running when the previous dispatcher died are returned as-is; the caller
+// requeues them (their leases died with the process).
+func OpenWAL(path string) (*WAL, []*Job, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, nil, fmt.Errorf("fleet: creating WAL dir: %w", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("fleet: reading WAL: %w", err)
+	}
+
+	byID := make(map[string]*Job)
+	records := 0
+	lines := bytes.Split(data, []byte("\n"))
+	for i, line := range lines {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec walRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// A malformed final line is the signature of a crash mid-append:
+			// the record was never acknowledged, so dropping it is correct.
+			// Malformed lines elsewhere mean real corruption.
+			if i == len(lines)-1 || allBlank(lines[i+1:]) {
+				break
+			}
+			return nil, nil, fmt.Errorf("fleet: WAL %s corrupt at line %d: %w", path, i+1, err)
+		}
+		if rec.Op != "put" || rec.Job == nil || rec.Job.ID == "" {
+			return nil, nil, fmt.Errorf("fleet: WAL %s has invalid record at line %d", path, i+1)
+		}
+		byID[rec.Job.ID] = rec.Job
+		records++
+	}
+
+	// Reopen for append. O_APPEND keeps a half-written final line untouched;
+	// the replay above already ignored it, and since it was never
+	// acknowledged the duplicate-looking bytes are dropped again on every
+	// future replay.
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fleet: opening WAL: %w", err)
+	}
+	w := &WAL{path: path, f: f, bw: bufio.NewWriter(f), records: records}
+
+	jobs := make([]*Job, 0, len(byID))
+	for _, j := range byID {
+		jobs = append(jobs, j)
+	}
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].Seq < jobs[k].Seq })
+	return w, jobs, nil
+}
+
+func allBlank(lines [][]byte) bool {
+	for _, l := range lines {
+		if len(bytes.TrimSpace(l)) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Append durably records the job's current state. The job is not
+// acknowledged to any client until Append returns.
+func (w *WAL) Append(j *Job) error {
+	line, err := json.Marshal(walRecord{Op: "put", Job: j})
+	if err != nil {
+		return fmt.Errorf("fleet: encoding WAL record: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := w.bw.Write(line); err != nil {
+		return fmt.Errorf("fleet: appending WAL record: %w", err)
+	}
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("fleet: flushing WAL: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("fleet: syncing WAL: %w", err)
+	}
+	w.records++
+	return nil
+}
+
+// Records returns the number of records currently in the file (live plus
+// superseded); the dispatcher's compaction policy reads it.
+func (w *WAL) Records() int { return w.records }
+
+// Compact atomically rewrites the log as one record per live job: write to a
+// temp file in the same directory, fsync, rename over the log. A crash at
+// any point leaves either the old complete log or the new complete log.
+func (w *WAL) Compact(live []*Job) error {
+	tmp := w.path + ".compact"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("fleet: creating compaction file: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	enc := json.NewEncoder(bw)
+	for _, j := range live {
+		if err := enc.Encode(walRecord{Op: "put", Job: j}); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("fleet: writing compaction record: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("fleet: flushing compaction: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("fleet: syncing compaction: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, w.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("fleet: installing compacted WAL: %w", err)
+	}
+	// Swap the append handle onto the new file.
+	w.f.Close()
+	nf, err := os.OpenFile(w.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("fleet: reopening compacted WAL: %w", err)
+	}
+	w.f = nf
+	w.bw = bufio.NewWriter(nf)
+	w.records = len(live)
+	return nil
+}
+
+// Close flushes and closes the log file.
+func (w *WAL) Close() error {
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	return w.f.Close()
+}

@@ -1,0 +1,160 @@
+package fleet
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func walJob(id string, seq int64, state JobState) *Job {
+	return &Job{
+		ID:    id,
+		Hash:  "hash-" + id,
+		Spec:  JobSpec{Type: JobFigure, Figure: &FigureSpec{Name: "figure7"}},
+		State: state,
+		Seq:   seq,
+	}
+}
+
+func TestWALAppendReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "queue.wal")
+	w, jobs, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 0 {
+		t.Fatalf("fresh WAL replayed %d jobs", len(jobs))
+	}
+	// j2 is written before j1 and then transitions twice: replay must apply
+	// last-writer-wins per job and sort by Seq.
+	for _, j := range []*Job{
+		walJob("j2", 2, StatePending),
+		walJob("j1", 1, StatePending),
+		walJob("j2", 2, StateRunning),
+		walJob("j2", 2, StateDone),
+	} {
+		if err := w.Append(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Records() != 4 {
+		t.Fatalf("Records() = %d, want 4", w.Records())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, jobs, err = OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("replayed %d jobs, want 2", len(jobs))
+	}
+	if jobs[0].ID != "j1" || jobs[1].ID != "j2" {
+		t.Fatalf("replay order = %s, %s; want j1, j2", jobs[0].ID, jobs[1].ID)
+	}
+	if jobs[1].State != StateDone {
+		t.Fatalf("j2 replayed in state %q, want last-written %q", jobs[1].State, StateDone)
+	}
+}
+
+func TestWALDropsTruncatedTrailingLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "queue.wal")
+	w, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(walJob("j1", 1, StatePending)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: a half-written record with no newline.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"put","job":{"id":"j2","se`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	w, jobs, err := OpenWAL(path)
+	if err != nil {
+		t.Fatalf("replay with truncated trailing line: %v", err)
+	}
+	if len(jobs) != 1 || jobs[0].ID != "j1" {
+		t.Fatalf("replayed %d jobs, want only the acknowledged j1", len(jobs))
+	}
+	// The log must stay appendable, and the next replay must survive the
+	// stale partial bytes still in the middle of the file.
+	if err := w.Append(walJob("j3", 3, StatePending)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	_, jobs, err = OpenWAL(path)
+	if err == nil {
+		// O_APPEND writes after the partial line, so the partial record and
+		// the new record share a line; the combined line is malformed and is
+		// mid-file now. Either strict rejection or recovery of j1 alone is
+		// sound; the implementation must not fabricate jobs.
+		for _, j := range jobs {
+			if j.ID == "j2" {
+				t.Fatalf("replay resurrected the unacknowledged j2")
+			}
+		}
+	}
+}
+
+func TestWALMidFileCorruptionRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "queue.wal")
+	content := `{"op":"put","job":{"id":"j1","seq":1,"state":"pending","spec":{"type":"figure","figure":{"name":"figure7"}},"hash":"h1","submitted_at":"2026-01-01T00:00:00Z"}}
+this line is garbage
+{"op":"put","job":{"id":"j2","seq":2,"state":"pending","spec":{"type":"figure","figure":{"name":"figure7"}},"hash":"h2","submitted_at":"2026-01-01T00:00:00Z"}}
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenWAL(path); err == nil {
+		t.Fatal("mid-file corruption silently accepted")
+	} else if !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestWALCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "queue.wal")
+	w, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := []*Job{walJob("j1", 1, StateDone), walJob("j2", 2, StatePending)}
+	for i := 0; i < 10; i++ {
+		for _, j := range live {
+			if err := w.Append(j); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Compact(live); err != nil {
+		t.Fatal(err)
+	}
+	if w.Records() != len(live) {
+		t.Fatalf("Records() = %d after compaction, want %d", w.Records(), len(live))
+	}
+	// The compacted log stays appendable and replays to the same live set.
+	if err := w.Append(walJob("j3", 3, StatePending)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	_, jobs, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 3 {
+		t.Fatalf("replayed %d jobs after compaction, want 3", len(jobs))
+	}
+}

@@ -11,6 +11,7 @@
 package taskgraph
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 )
@@ -81,6 +82,26 @@ func KindFromString(s string) (Kind, error) {
 	default:
 		return 0, fmt.Errorf("taskgraph: unknown DAG kind %q", s)
 	}
+}
+
+// MarshalJSON encodes the family as its name, so serialised specs (fleet
+// jobs, checkpoints metadata) read "cholesky" rather than an opaque integer.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	return json.Marshal(k.String())
+}
+
+// UnmarshalJSON parses a family name produced by MarshalJSON.
+func (k *Kind) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	parsed, err := KindFromString(s)
+	if err != nil {
+		return err
+	}
+	*k = parsed
+	return nil
 }
 
 // Task is one vertex of the DAG.
