@@ -144,12 +144,17 @@ func (c *Client) Heartbeat(workerID, jobID string, p *Progress) error {
 	return err
 }
 
-// Complete finishes a job with its uploaded artifacts.
+// Complete finishes a job with its uploaded artifacts. ErrLeaseLost means
+// the worker must abandon the job; ErrArtifactMissing means a cited digest
+// was never uploaded (or is malformed) and the completion was refused.
 func (c *Client) Complete(workerID, jobID string, artifacts map[string]string, result json.RawMessage) error {
 	status, err := c.do(http.MethodPost, "/v1/complete",
 		CompleteRequest{WorkerID: workerID, JobID: jobID, Artifacts: artifacts, Result: result}, nil, http.StatusOK)
-	if status == http.StatusConflict {
+	switch status {
+	case http.StatusConflict:
 		return ErrLeaseLost
+	case http.StatusPreconditionFailed:
+		return fmt.Errorf("%w: %v", ErrArtifactMissing, err)
 	}
 	return err
 }

@@ -23,6 +23,10 @@ var (
 	ErrUnknownWorker = errors.New("fleet: unknown worker")
 	// ErrUnknownJob means the job ID does not exist.
 	ErrUnknownJob = errors.New("fleet: unknown job")
+	// ErrArtifactMissing means a completion referenced an artifact digest
+	// that is malformed or was never uploaded to the store — a client error,
+	// not a dispatcher fault.
+	ErrArtifactMissing = errors.New("fleet: artifact not uploaded")
 )
 
 // Publisher receives completed training checkpoints. serve.(*Registry).Publish
@@ -337,7 +341,10 @@ func (d *Dispatcher) Lease(workerID string) (*Job, time.Duration, error) {
 
 	var pick *Job
 	for _, j := range d.jobs {
-		if j.State != StatePending || j.excludes(workerID) {
+		if j.State != StatePending {
+			continue
+		}
+		if j.excludes(workerID) && !d.allWorkersExcludedLocked(j) {
 			continue
 		}
 		if !j.NotBefore.IsZero() && now.Before(j.NotBefore) {
@@ -411,7 +418,7 @@ func (d *Dispatcher) Complete(workerID, jobID string, artifacts map[string]strin
 	for name, digest := range artifacts {
 		if !d.store.Has(digest) {
 			d.mu.Unlock()
-			return nil, fmt.Errorf("fleet: artifact %q (%s) not uploaded", name, digest)
+			return nil, fmt.Errorf("%w: %q (%s)", ErrArtifactMissing, name, digest)
 		}
 	}
 	j.State = StateDone
@@ -495,6 +502,20 @@ func (d *Dispatcher) expireLeaseLocked(jobID, reason string) {
 	if err := d.requeueLocked(d.jobs[jobID], l.worker, reason); err != nil {
 		d.logf("fleet: requeueing %s: %v", jobID, err)
 	}
+}
+
+// allWorkersExcludedLocked reports whether every registered worker is on the
+// job's excluded list. When that happens exclusion is ignored at lease time:
+// in a single-worker fleet (or once every worker has failed the job once)
+// honouring it would strand the job in pending with attempts to spare, never
+// leased and never terminally failed.
+func (d *Dispatcher) allWorkersExcludedLocked(j *Job) bool {
+	for id := range d.workers {
+		if !j.excludes(id) {
+			return false
+		}
+	}
+	return true
 }
 
 // requeueLocked moves a running job back to pending with exponential backoff

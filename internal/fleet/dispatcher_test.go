@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"encoding/json"
+	"errors"
 	"path/filepath"
 	"testing"
 	"time"
@@ -194,6 +195,93 @@ func TestFailRequeuesWithBackoffThenTerminal(t *testing.T) {
 	}
 	if fresh.ID == job.ID {
 		t.Fatal("terminally failed job answered the resubmission")
+	}
+}
+
+// TestLoneWorkerRetriesAfterTransientFailure pins the single-worker escape
+// hatch: exclusion is ignored once every registered worker is on the job's
+// excluded list, so a lone worker's transient failure (e.g. a failed artifact
+// upload) does not strand the job in pending with attempts to spare.
+func TestLoneWorkerRetriesAfterTransientFailure(t *testing.T) {
+	d := newTestDispatcher(t, func(c *Config) {
+		c.MaxAttempts = 3
+		c.RetryBackoff = time.Millisecond
+	})
+	job, _, err := d.Submit(figureJob("figure7", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := d.Register("loner")
+	leased, _, err := d.Lease(w.ID)
+	if err != nil || leased == nil {
+		t.Fatalf("lease = (%v, %v)", leased, err)
+	}
+	if err := d.Fail(w.ID, job.ID, "transient upload failure"); err != nil {
+		t.Fatal(err)
+	}
+	d.mu.Lock()
+	d.jobs[job.ID].NotBefore = time.Time{} // skip the backoff wait
+	d.mu.Unlock()
+
+	retried, _, err := d.Lease(w.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retried == nil || retried.ID != job.ID {
+		t.Fatalf("lone worker not re-leased its own failed job: %v", retried)
+	}
+	digest, err := d.Store().Put([]byte("rows\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := d.Complete(w.ID, job.ID, map[string]string{ArtifactResult: digest}, nil)
+	if err != nil || done.State != StateDone {
+		t.Fatalf("retry completion = (%v, %v)", done, err)
+	}
+	// With a second worker registered, exclusion applies again.
+	job2, _, _ := d.Submit(figureJob("figure3", 0))
+	w2 := d.Register("second")
+	if leased, _, _ = d.Lease(w.ID); leased == nil || leased.ID != job2.ID {
+		t.Fatalf("lease = %v, want %s", leased, job2.ID)
+	}
+	if err := d.Fail(w.ID, job2.ID, "boom"); err != nil {
+		t.Fatal(err)
+	}
+	d.mu.Lock()
+	d.jobs[job2.ID].NotBefore = time.Time{}
+	d.mu.Unlock()
+	if got, _, _ := d.Lease(w.ID); got != nil {
+		t.Fatalf("excluded worker re-leased %s despite an eligible survivor", got.ID)
+	}
+	if got, _, _ := d.Lease(w2.ID); got == nil || got.ID != job2.ID {
+		t.Fatalf("survivor not leased the job: %v", got)
+	}
+}
+
+// TestCompleteMissingArtifactIsClientError pins the sentinel: citing a digest
+// that was never uploaded refuses the completion with ErrArtifactMissing and
+// leaves the lease (and job state) intact so the worker can upload and retry.
+func TestCompleteMissingArtifactIsClientError(t *testing.T) {
+	d := newTestDispatcher(t, nil)
+	job, _, _ := d.Submit(figureJob("figure7", 0))
+	w := d.Register("uploader")
+	if leased, _, _ := d.Lease(w.ID); leased == nil {
+		t.Fatal("lease failed")
+	}
+	bogus := map[string]string{ArtifactResult: "not-a-digest"}
+	if _, err := d.Complete(w.ID, job.ID, bogus, nil); !errors.Is(err, ErrArtifactMissing) {
+		t.Fatalf("complete with bogus digest: %v, want ErrArtifactMissing", err)
+	}
+	j, _ := d.Job(job.ID)
+	if j.State != StateRunning {
+		t.Fatalf("job state after refused completion = %q, want running", j.State)
+	}
+	digest, err := d.Store().Put([]byte("rows\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Complete(w.ID, job.ID, map[string]string{ArtifactResult: digest}, nil); err != nil {
+		t.Fatalf("retry after upload: %v", err)
 	}
 }
 

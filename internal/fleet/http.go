@@ -170,13 +170,16 @@ func (d *Dispatcher) decode(w http.ResponseWriter, r *http.Request, v any) error
 }
 
 // leaseStatus maps dispatcher errors onto HTTP statuses: lost leases are
-// 409 (the worker must abandon), unknown workers 404.
+// 409 (the worker must abandon), unknown workers 404, completions citing
+// missing artifacts 412 (the client must upload before completing).
 func (d *Dispatcher) leaseStatus(err error) int {
 	switch {
 	case errors.Is(err, ErrLeaseLost):
 		return http.StatusConflict
 	case errors.Is(err, ErrUnknownWorker), errors.Is(err, ErrUnknownJob):
 		return http.StatusNotFound
+	case errors.Is(err, ErrArtifactMissing):
+		return http.StatusPreconditionFailed
 	default:
 		return http.StatusInternalServerError
 	}

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -136,6 +137,29 @@ func TestHTTPErrorStatuses(t *testing.T) {
 	w := d.Register("mapper")
 	if err := client.Heartbeat(w.ID, "j000042", nil); err != ErrLeaseLost {
 		t.Fatalf("client heartbeat mapping: %v, want ErrLeaseLost", err)
+	}
+
+	// A completion citing a never-uploaded artifact is the client's fault:
+	// 412 on the wire, ErrArtifactMissing from the typed client — not a 500.
+	job, _, err := client.Submit(figureJob("figure7", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leased, _, err := client.Lease(w.ID); err != nil || leased == nil {
+		t.Fatalf("lease = (%v, %v)", leased, err)
+	}
+	resp, err := http.Post(base+"/v1/complete", "application/json",
+		strings.NewReader(`{"worker_id":"`+w.ID+`","job_id":"`+job.ID+`","artifacts":{"result":"`+strings.Repeat("a", 64)+`"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusPreconditionFailed {
+		t.Fatalf("complete with missing artifact: status %d, want 412", resp.StatusCode)
+	}
+	err = client.Complete(w.ID, job.ID, map[string]string{ArtifactResult: strings.Repeat("b", 64)}, nil)
+	if !errors.Is(err, ErrArtifactMissing) {
+		t.Fatalf("client complete mapping: %v, want ErrArtifactMissing", err)
 	}
 }
 

@@ -33,6 +33,13 @@ func (p DirPublisher) Publish(base string, data []byte) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("fleet: writing %s: %w", base, err)
 	}
+	// Sync before rename so a crash just after publish cannot install a
+	// zero-length or torn checkpoint under the canonical name.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("fleet: syncing %s: %w", base, err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return err

@@ -47,16 +47,34 @@ func OpenWAL(path string) (*WAL, []*Job, error) {
 
 	byID := make(map[string]*Job)
 	records := 0
+	// validEnd is the byte offset just past the last fully parsed,
+	// newline-terminated record. Anything after it is a crash-truncated tail.
+	validEnd := 0
+	pos := 0
 	lines := bytes.Split(data, []byte("\n"))
 	for i, line := range lines {
+		// The split consumed a '\n' after every element but the last; an
+		// unterminated final line means the record's trailing newline (and so
+		// its acknowledging fsync) never hit the disk.
+		terminated := i < len(lines)-1
+		lineEnd := pos + len(line)
+		if terminated {
+			lineEnd++
+		}
 		if len(bytes.TrimSpace(line)) == 0 {
+			if terminated {
+				validEnd = lineEnd
+			}
+			pos = lineEnd
 			continue
 		}
 		var rec walRecord
-		if err := json.Unmarshal(line, &rec); err != nil {
-			// A malformed final line is the signature of a crash mid-append:
-			// the record was never acknowledged, so dropping it is correct.
-			// Malformed lines elsewhere mean real corruption.
+		err := json.Unmarshal(line, &rec)
+		if err != nil || !terminated {
+			// A malformed or unterminated final line is the signature of a
+			// crash mid-append: the record was never acknowledged (Append
+			// syncs the full line before returning), so dropping it is
+			// correct. Malformed lines elsewhere mean real corruption.
 			if i == len(lines)-1 || allBlank(lines[i+1:]) {
 				break
 			}
@@ -67,12 +85,18 @@ func OpenWAL(path string) (*WAL, []*Job, error) {
 		}
 		byID[rec.Job.ID] = rec.Job
 		records++
+		validEnd = lineEnd
+		pos = lineEnd
 	}
 
-	// Reopen for append. O_APPEND keeps a half-written final line untouched;
-	// the replay above already ignored it, and since it was never
-	// acknowledged the duplicate-looking bytes are dropped again on every
-	// future replay.
+	// Drop the crash tail before reopening: O_APPEND would otherwise
+	// concatenate the next record onto the partial line, turning it into
+	// mid-file corruption that the following replay would refuse to load.
+	if validEnd < len(data) {
+		if err := os.Truncate(path, int64(validEnd)); err != nil {
+			return nil, nil, fmt.Errorf("fleet: truncating WAL crash tail: %w", err)
+		}
+	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("fleet: opening WAL: %w", err)

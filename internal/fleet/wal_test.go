@@ -89,23 +89,77 @@ func TestWALDropsTruncatedTrailingLine(t *testing.T) {
 	if len(jobs) != 1 || jobs[0].ID != "j1" {
 		t.Fatalf("replayed %d jobs, want only the acknowledged j1", len(jobs))
 	}
-	// The log must stay appendable, and the next replay must survive the
-	// stale partial bytes still in the middle of the file.
+	// OpenWAL truncated the partial tail, so the log must stay appendable and
+	// the next replay must recover every acknowledged record — the partial
+	// bytes must not have merged with the new append into mid-file corruption.
 	if err := w.Append(walJob("j3", 3, StatePending)); err != nil {
 		t.Fatal(err)
 	}
 	w.Close()
 	_, jobs, err = OpenWAL(path)
-	if err == nil {
-		// O_APPEND writes after the partial line, so the partial record and
-		// the new record share a line; the combined line is malformed and is
-		// mid-file now. Either strict rejection or recovery of j1 alone is
-		// sound; the implementation must not fabricate jobs.
-		for _, j := range jobs {
-			if j.ID == "j2" {
-				t.Fatalf("replay resurrected the unacknowledged j2")
-			}
+	if err != nil {
+		t.Fatalf("replay after appending over a truncated tail: %v", err)
+	}
+	if len(jobs) != 2 || jobs[0].ID != "j1" || jobs[1].ID != "j3" {
+		t.Fatalf("replayed %v, want exactly j1 and j3", jobIDs(jobs))
+	}
+	for _, j := range jobs {
+		if j.ID == "j2" {
+			t.Fatal("replay resurrected the unacknowledged j2")
 		}
+	}
+}
+
+func jobIDs(jobs []*Job) []string {
+	ids := make([]string, len(jobs))
+	for i, j := range jobs {
+		ids[i] = j.ID
+	}
+	return ids
+}
+
+// A crash can persist a record's complete JSON but not its trailing newline.
+// Append syncs the full line (newline included) before acknowledging, so such
+// a record was never acknowledged: it must be dropped and truncated exactly
+// like a malformed tail, never merged with the next append.
+func TestWALDropsUnterminatedValidJSONTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "queue.wal")
+	w, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(walJob("j1", 1, StatePending)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"put","job":{"id":"j2","seq":2,"state":"pending","spec":{"type":"figure","figure":{"name":"figure7"}},"hash":"h2","submitted_at":"2026-01-01T00:00:00Z"}}`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	w, jobs, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].ID != "j1" {
+		t.Fatalf("replayed %v, want only j1", jobIDs(jobs))
+	}
+	if err := w.Append(walJob("j3", 3, StatePending)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	_, jobs, err = OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 || jobs[0].ID != "j1" || jobs[1].ID != "j3" {
+		t.Fatalf("replayed %v, want exactly j1 and j3", jobIDs(jobs))
 	}
 }
 

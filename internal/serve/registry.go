@@ -326,6 +326,13 @@ func (r *Registry) Publish(base string, data []byte) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("serve: writing %s: %w", base, err)
 	}
+	// Sync before rename so a crash just after publish cannot install a
+	// zero-length or torn checkpoint under the canonical name.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: syncing %s: %w", base, err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return err
