@@ -4,8 +4,10 @@
 #                      tests, observability smoke test, bench smoke test,
 #                      fleet smoke test
 #   make race        — just the race-detector runs (serving, agent core, RL,
-#                      fleet)
+#                      fleet, fault-injecting simulator)
 #   make obs-smoke   — end-to-end telemetry/trace pipeline check
+#   make chaos-smoke — single-seed fault-injection run through readys-sim
+#                      (plan generation, kill/re-execution, strict validator)
 #   make fleet-smoke — dispatcher + worker end-to-end check (train job,
 #                      artifact verification, train → serve publish)
 #   make bench       — hot-path benchmark snapshot (writes BENCH_<rev>.json)
@@ -17,9 +19,9 @@
 GO ?= go
 OBS_TMP ?= /tmp/readys-obs-smoke
 
-.PHONY: check build vet test race obs-smoke fleet-smoke bench bench-smoke bench-serve serve fleet
+.PHONY: check build vet test race obs-smoke chaos-smoke fleet-smoke bench bench-smoke bench-serve serve fleet
 
-check: build vet test race obs-smoke fleet-smoke bench-smoke
+check: build vet test race obs-smoke chaos-smoke fleet-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -32,10 +34,10 @@ test:
 
 # Concurrency-sensitive packages run under the race detector: internal/serve
 # (registry, pool, handlers), internal/core (shared-agent inference),
-# internal/rl (parallel batch rollouts), and internal/fleet (dispatcher,
-# leases, workers).
+# internal/rl (parallel batch rollouts), internal/fleet (dispatcher, leases,
+# workers), and internal/sim (fault injection under parallel rollouts).
 race:
-	$(GO) test -race ./internal/serve/... ./internal/core/... ./internal/rl/... ./internal/fleet/...
+	$(GO) test -race ./internal/serve/... ./internal/core/... ./internal/rl/... ./internal/fleet/... ./internal/sim/...
 
 # End-to-end observability check: train a tiny agent with -telemetry, simulate
 # one DAG with -trace, then assert both artifacts are valid and non-empty.
@@ -48,6 +50,15 @@ obs-smoke:
 	$(GO) run ./cmd/readys-obs-check -jsonl $(OBS_TMP)/train.jsonl \
 		-trace $(OBS_TMP)/trace.json
 	rm -rf $(OBS_TMP)
+
+# Single-seed chaos check: a tiny DAG scheduled through readys-sim with fault
+# injection on. Exercises plan generation, in-flight kills, re-execution and
+# the strict fault-aware validator (readys-sim fails hard if any slice
+# overlaps an outage or a duration leaves the timing envelope).
+chaos-smoke:
+	$(GO) run ./cmd/readys-sim -kind cholesky -T 3 -cpus 1 -gpus 1 -sigma 0.1 \
+		-policy mct -faults -fault-rate 2 -seed 7 > /dev/null
+	@echo chaos-smoke OK
 
 # Full perf snapshot: SpMM vs dense propagation, decisions/sec, training
 # episodes/sec (sparse vs DenseProp ablation, workers 1 vs GOMAXPROCS).

@@ -1,10 +1,13 @@
 // readys-eval loads a trained READYS checkpoint and compares it with the HEFT
-// and MCT baselines across the noise sweep on a chosen problem.
+// and MCT baselines across the noise sweep on a chosen problem, or — with
+// -faults — against HEFT, re-planning HEFT and MCT across a fault-rate sweep
+// (the resilience benchmark).
 //
 // Usage:
 //
 //	readys-eval -kind cholesky -T 8 -cpus 2 -gpus 2 -models models
 //	readys-eval -kind cholesky -train-T 8 -T 12 -cpus 4 -gpus 0   # transfer
+//	readys-eval -kind cholesky -T 8 -faults -rates 0,0.5,1,2      # resilience
 package main
 
 import (
@@ -19,6 +22,18 @@ import (
 	"readys/internal/taskgraph"
 )
 
+func parseFloats(raw string) ([]float64, error) {
+	var out []float64
+	for _, s := range strings.Split(raw, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %w", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
 func main() {
 	var (
 		kindStr = flag.String("kind", "cholesky", "DAG family: cholesky, lu or qr")
@@ -30,6 +45,9 @@ func main() {
 		runs    = flag.Int("runs", exp.EvalRuns, "runs per σ point")
 		seed    = flag.Int64("seed", 42, "evaluation seed")
 		sigmas  = flag.String("sigmas", "", "comma-separated σ values (default: the standard sweep)")
+		faults  = flag.Bool("faults", false, "run the resilience benchmark (fault-rate sweep) instead of the σ sweep")
+		rates   = flag.String("rates", "", "comma-separated fault rates for -faults (default: 0,0.5,1,2)")
+		sigma   = flag.Float64("sigma", 0.1, "duration noise during the -faults sweep")
 		csv     = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	)
 	flag.Parse()
@@ -48,25 +66,31 @@ func main() {
 		log.Fatalf("loading %s: %v (train it with readys-train)", spec.ModelPath(*models), err)
 	}
 
-	sweep := exp.Sigmas
-	if *sigmas != "" {
-		sweep = nil
-		for _, s := range strings.Split(*sigmas, ",") {
-			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
-			if err != nil {
-				log.Fatalf("bad sigma %q: %v", s, err)
+	var tab *exp.Table
+	if *faults {
+		sweep := exp.FaultRates
+		if *rates != "" {
+			if sweep, err = parseFloats(*rates); err != nil {
+				log.Fatal(err)
 			}
-			sweep = append(sweep, v)
 		}
-	}
-
-	tab := exp.Table{
-		Title:  fmt.Sprintf("READYS (trained T=%d) vs HEFT/MCT on %s T=%d, %dCPU+%dGPU", tt, kind, *tiles, *cpus, *gpus),
-		Header: []string{"sigma", "readys_ms", "heft_ms", "mct_ms", "improve_vs_heft", "improve_vs_mct"},
-	}
-	for _, pt := range exp.Compare(agent, kind, *tiles, *cpus, *gpus, sweep, *runs, *seed) {
-		tab.AddRow(exp.F(pt.Sigma), exp.F(pt.READYS.Mean), exp.F(pt.HEFT.Mean), exp.F(pt.MCT.Mean),
-			exp.F(pt.ImproveHEFT), exp.F(pt.ImproveMCT))
+		pts := exp.ResilienceSweep(agent, kind, *tiles, *cpus, *gpus, *sigma, sweep, *runs, *seed)
+		tab = exp.ResilienceTable(pts, kind, *tiles, *cpus, *gpus, *sigma)
+	} else {
+		sweep := exp.Sigmas
+		if *sigmas != "" {
+			if sweep, err = parseFloats(*sigmas); err != nil {
+				log.Fatal(err)
+			}
+		}
+		tab = &exp.Table{
+			Title:  fmt.Sprintf("READYS (trained T=%d) vs HEFT/MCT on %s T=%d, %dCPU+%dGPU", tt, kind, *tiles, *cpus, *gpus),
+			Header: []string{"sigma", "readys_ms", "heft_ms", "mct_ms", "improve_vs_heft", "improve_vs_mct"},
+		}
+		for _, pt := range exp.Compare(agent, kind, *tiles, *cpus, *gpus, sweep, *runs, *seed) {
+			tab.AddRow(exp.F(pt.Sigma), exp.F(pt.READYS.Mean), exp.F(pt.HEFT.Mean), exp.F(pt.MCT.Mean),
+				exp.F(pt.ImproveHEFT), exp.F(pt.ImproveMCT))
+		}
 	}
 	if *csv {
 		fmt.Fprint(os.Stdout, tab.CSV())

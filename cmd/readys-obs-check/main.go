@@ -4,6 +4,11 @@
 // missing, empty, or malformed, so `make obs-smoke` can assert the pipeline
 // end to end.
 //
+// Traces from fault-injecting runs (readys-sim -faults) carry extra spans in
+// the "fault" category — "outage" and "dead" slices plus "death", "degrade"
+// and "kill" instants — which are counted in the summary and validate like
+// any other span.
+//
 // Usage:
 //
 //	readys-obs-check -jsonl train.jsonl -trace trace.json
@@ -56,6 +61,40 @@ func main() {
 		if err := obs.ValidateChromeTrace(data); err != nil {
 			log.Fatalf("%s: %v", *tracePath, err)
 		}
-		fmt.Printf("%s: valid Chrome trace (%d bytes)\n", *tracePath, len(data))
+		outages, kills := countFaultSpans(data)
+		if outages+kills > 0 {
+			fmt.Printf("%s: valid Chrome trace (%d bytes, %d outage spans, %d kill events)\n",
+				*tracePath, len(data), outages, kills)
+		} else {
+			fmt.Printf("%s: valid Chrome trace (%d bytes)\n", *tracePath, len(data))
+		}
 	}
+}
+
+// countFaultSpans tallies the fault-category events a fault-injecting
+// simulation emits: "outage" slices and "kill" instants. Zero for fault-free
+// traces. Decode errors are ignored — ValidateChromeTrace already accepted
+// the file, so the count is best-effort reporting, not validation.
+func countFaultSpans(data []byte) (outages, kills int) {
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return 0, 0
+	}
+	for _, e := range doc.TraceEvents {
+		if e.Cat != "fault" {
+			continue
+		}
+		switch e.Name {
+		case "outage":
+			outages++
+		case "kill":
+			kills++
+		}
+	}
+	return outages, kills
 }

@@ -40,6 +40,9 @@ func main() {
 		csvPath   = flag.String("gantt", "", "write the schedule as Gantt CSV to this path")
 		svgPath   = flag.String("svg", "", "write the schedule as an SVG Gantt chart to this path")
 		tracePath = flag.String("trace", "", "write the schedule as Chrome trace-event JSON to this path (load in chrome://tracing or ui.perfetto.dev)")
+		faults    = flag.Bool("faults", false, "inject faults (outages, deaths, degradation) from a seed-derived plan")
+		faultRate = flag.Float64("fault-rate", 1, "fault rate for -faults (events of each kind per resource, see sim.SpecForRate)")
+		faultSeed = flag.Int64("fault-seed", 0, "fault-plan seed for -faults (default: derived from -seed)")
 	)
 	flag.Parse()
 
@@ -84,6 +87,14 @@ func main() {
 	if *comm {
 		opts.Comm = platform.DefaultCommModel()
 	}
+	if *faults {
+		horizon := core.FaultHorizonFactor * sched.HEFT(g, plat, tt).Makespan
+		fs := *faultSeed
+		if fs == 0 {
+			fs = *seed + 104729
+		}
+		opts.Faults = sim.GeneratePlan(fs, plat.Size(), sim.SpecForRate(*faultRate, horizon))
+	}
 	var tracer *obs.Tracer
 	if *tracePath != "" {
 		tracer = obs.NewTracer(0)
@@ -93,7 +104,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := sim.ValidateResult(g, plat.Size(), res); err != nil {
+	if err := sim.ValidateResultStrict(g, res, sim.CheckOptions{
+		Platform: plat, Timing: tt, Sigma: *sigma, Comm: opts.Comm, Faults: opts.Faults,
+	}); err != nil {
 		log.Fatalf("schedule invalid: %v", err)
 	}
 
@@ -113,6 +126,25 @@ func main() {
 			100*st.GPUShare(taskgraph.Kernel(k)))
 	}
 	fmt.Printf("critical chain: %d tasks\n", len(st.CriticalChain))
+	if opts.Faults != nil {
+		var outages, deaths, degrades int
+		for _, e := range opts.Faults.Events {
+			switch e.Kind {
+			case sim.FaultOutage:
+				outages++
+			case sim.FaultDeath:
+				deaths++
+			case sim.FaultDegrade:
+				degrades++
+			}
+		}
+		fmt.Printf("faults: %d outages, %d deaths, %d degrades planned; %d task attempts killed\n",
+			outages, deaths, degrades, len(res.Kills))
+		for _, k := range res.Kills {
+			fmt.Printf("  killed %s on %s %d at %.1f ms (ran %.1f ms, cause %s)\n",
+				g.Tasks[k.Task].Name, plat.Resources[k.Resource].Type, k.Resource, k.At, k.At-k.Start, k.Cause)
+		}
+	}
 
 	if *csvPath != "" {
 		writeFile(*csvPath, func(f *os.File) error { return sim.WriteGanttCSV(f, g, plat, res) })

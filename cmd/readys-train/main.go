@@ -20,6 +20,7 @@ import (
 	"readys/internal/exp"
 	"readys/internal/obs"
 	"readys/internal/rl"
+	"readys/internal/sim"
 	"readys/internal/taskgraph"
 )
 
@@ -39,6 +40,7 @@ func main() {
 		quiet     = flag.Bool("quiet", false, "suppress per-interval progress")
 		telemetry = flag.String("telemetry", "", "write per-episode training stats as JSON lines to this file (with -all, one file per agent named after it)")
 		workers   = flag.Int("workers", 0, "concurrent episode rollouts per batch (0 = GOMAXPROCS); results are identical at any value")
+		faultRate = flag.Float64("fault-rate", 0, "train under per-episode fault injection at this rate (0 = fault-free; see sim.SpecForRate)")
 	)
 	flag.Parse()
 
@@ -59,12 +61,12 @@ func main() {
 	if eps == 0 {
 		eps = exp.EpisodesFor(kind, *tiles)
 	}
-	if err := trainOne(spec, *out, eps, *quiet, *telemetry, *workers); err != nil {
+	if err := trainOne(spec, *out, eps, *quiet, *telemetry, *workers, *faultRate); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func trainOne(spec exp.AgentSpec, dir string, episodes int, quiet bool, telemetryPath string, workers int) error {
+func trainOne(spec exp.AgentSpec, dir string, episodes int, quiet bool, telemetryPath string, workers int, faultRate float64) error {
 	if _, err := os.Stat(spec.ModelPath(dir)); err == nil {
 		fmt.Printf("%s: checkpoint exists, skipping\n", spec.Name())
 		return nil
@@ -78,6 +80,9 @@ func trainOne(spec exp.AgentSpec, dir string, episodes int, quiet bool, telemetr
 	opt := exp.TrainOptions{
 		Episodes: episodes,
 		Workers:  workers,
+		// Horizon 0: each episode defaults it to a multiple of the problem's
+		// HEFT projection (see core.Problem.FaultPlanFor).
+		Faults: sim.SpecForRate(faultRate, 0),
 		Progress: func(st rl.EpisodeStats) {
 			if !quiet && st.Episode%interval == 0 {
 				fmt.Printf("  ep %5d  reward %+.3f  makespan %8.1f  entropy %.3f\n",
@@ -131,7 +136,7 @@ func trainAll(dir string, quiet bool, telemetryPath string, workers int) error {
 			continue
 		}
 		seen[spec.Name()] = true
-		if err := trainOne(spec, dir, exp.EpisodesFor(spec.Kind, spec.T), quiet, perAgentTelemetry(telemetryPath, spec), workers); err != nil {
+		if err := trainOne(spec, dir, exp.EpisodesFor(spec.Kind, spec.T), quiet, perAgentTelemetry(telemetryPath, spec), workers, 0); err != nil {
 			return err
 		}
 	}

@@ -177,7 +177,8 @@ func EncodeWith(s *sim.State, resource int, F [][taskgraph.NumKernels]float64, w
 		if s.Started[t] && !s.Done[t] {
 			rf[featRunning] = 1
 			r := s.AssignedTo[t]
-			e := s.Timing.ExpectedDuration(task.Kernel, s.Platform.Resources[r].Type)
+			// Speed-aware under fault injection (exact multiply by 1 without).
+			e := s.EstDuration(task.Kernel, r)
 			rem := s.StartTime[t] + e - s.Now
 			if rem < 0 {
 				rem = 0

@@ -26,12 +26,17 @@ import (
 )
 
 // Problem bundles one scheduling instance: a DAG, a platform, the timing
-// tables and the duration-noise level.
+// tables and the duration-noise level, plus an optional fault model.
 type Problem struct {
 	Graph    *taskgraph.Graph
 	Platform platform.Platform
 	Timing   platform.Timing
 	Sigma    float64
+	// Faults, when enabled, injects a per-run fault plan (outages, deaths,
+	// degradation) derived deterministically from the simulation RNG. The
+	// zero value disables fault injection entirely and leaves every result
+	// bit-identical to a fault-free run.
+	Faults sim.FaultSpec
 }
 
 // NewProblem builds a Problem for a factorisation kind, tile count, platform
@@ -63,9 +68,35 @@ func Reward(heftMakespan, makespan float64) float64 {
 	return (heftMakespan - makespan) / heftMakespan
 }
 
+// FaultHorizonFactor sizes the default fault horizon relative to the HEFT
+// projected makespan: faults keep arriving while the schedule drags past its
+// projection, which is precisely when a fragile policy is being punished.
+const FaultHorizonFactor = 2.5
+
+// FaultPlanFor materialises the problem's fault spec into a concrete plan
+// for the given seed (nil spec disabled → empty plan). A zero Horizon
+// defaults to FaultHorizonFactor times the HEFT projection.
+func (p Problem) FaultPlanFor(seed int64) *sim.FaultPlan {
+	if !p.Faults.Enabled() {
+		return nil
+	}
+	spec := p.Faults
+	if spec.Horizon <= 0 {
+		spec.Horizon = FaultHorizonFactor * p.HEFTBaseline()
+	}
+	return sim.GeneratePlan(seed, p.Platform.Size(), spec)
+}
+
 // Simulate runs the problem under an arbitrary policy with the given RNG.
+// When the problem's fault spec is enabled, a fault plan is derived from one
+// draw of rng — so distinct episode RNGs yield distinct, reproducible fault
+// streams; with faults disabled, rng is consumed exactly as before.
 func (p Problem) Simulate(pol sim.Policy, rng *rand.Rand) (sim.Result, error) {
-	return sim.Simulate(p.Graph, p.Platform, p.Timing, pol, sim.Options{Sigma: p.Sigma, Rng: rng})
+	var plan *sim.FaultPlan
+	if p.Faults.Enabled() {
+		plan = p.FaultPlanFor(rng.Int63())
+	}
+	return sim.Simulate(p.Graph, p.Platform, p.Timing, pol, sim.Options{Sigma: p.Sigma, Rng: rng, Faults: plan})
 }
 
 // Validate checks that the problem is well-formed: a non-empty acyclic graph,
@@ -87,6 +118,16 @@ func (p Problem) Validate() error {
 	}
 	if p.Sigma < 0 {
 		return fmt.Errorf("core: negative duration noise sigma %g", p.Sigma)
+	}
+	f := p.Faults
+	if f.OutageRate < 0 || f.DegradeRate < 0 {
+		return fmt.Errorf("core: negative fault rate (outage %g, degrade %g)", f.OutageRate, f.DegradeRate)
+	}
+	if f.DeathProb < 0 || f.DeathProb > 1 {
+		return fmt.Errorf("core: death probability %g outside [0, 1]", f.DeathProb)
+	}
+	if f.Horizon < 0 {
+		return fmt.Errorf("core: negative fault horizon %g", f.Horizon)
 	}
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"readys/internal/core"
 	"readys/internal/obs"
 	"readys/internal/rl"
+	"readys/internal/sim"
 )
 
 // TrainOptions parameterise TrainAgentWith beyond the spec itself.
@@ -23,6 +24,9 @@ type TrainOptions struct {
 	// batch (0 selects GOMAXPROCS). Results are bit-identical at any value;
 	// see rl.Config.RolloutWorkers.
 	Workers int
+	// Faults, if enabled, injects a fresh per-episode fault plan into every
+	// training rollout; see rl.Config.Faults.
+	Faults sim.FaultSpec
 }
 
 // TrainAgent trains a fresh agent for the spec with the given episode budget
@@ -40,6 +44,7 @@ func TrainAgentWith(spec AgentSpec, dir string, opt TrainOptions) (*core.Agent, 
 	cfg.Episodes = opt.Episodes
 	cfg.Seed = spec.Seed
 	cfg.RolloutWorkers = opt.Workers
+	cfg.Faults = opt.Faults
 	trainer := rl.NewTrainer(agent, spec.Problem(), cfg)
 	trainer.Telemetry = opt.Telemetry
 	hist, err := trainer.Run(opt.Progress)

@@ -5,19 +5,41 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"time"
 
 	"readys/internal/exp"
 )
 
+// Backoff defaults: a failed idempotent request is re-sent up to
+// defaultRetries times, sleeping defaultRetryBase before the first retry and
+// doubling per attempt, each delay jittered to ±50% so a worker fleet hitting
+// a briefly-down dispatcher does not retry in lockstep.
+const (
+	defaultRetries   = 3
+	defaultRetryBase = 25 * time.Millisecond
+)
+
 // Client is the typed HTTP client of the fleet API, used by workers, the
 // grid submitter and tests. It is safe for concurrent use.
+//
+// Idempotent calls (Register, Lease, Heartbeat and the read-only lookups)
+// transparently retry transient failures — transport errors and 5xx
+// responses — with jittered exponential backoff. Application-level outcomes
+// (409 lease conflicts, 404s, 412 artifact refusals) are never retried, and
+// neither are non-idempotent calls such as Submit, Complete and Fail.
 type Client struct {
 	// BaseURL is the dispatcher root, e.g. "http://127.0.0.1:9090".
 	BaseURL string
 	// HTTPClient defaults to a client with a 30s timeout.
 	HTTPClient *http.Client
+	// Retries is the number of re-sends after a failed idempotent request.
+	// Zero means defaultRetries; negative disables retrying.
+	Retries int
+	// RetryBase is the pre-jitter delay before the first retry, doubling
+	// each attempt. Zero means defaultRetryBase.
+	RetryBase time.Duration
 }
 
 // NewClient returns a client for the dispatcher at baseURL.
@@ -35,23 +57,89 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
+func (c *Client) retries() int {
+	switch {
+	case c.Retries < 0:
+		return 0
+	case c.Retries == 0:
+		return defaultRetries
+	}
+	return c.Retries
+}
+
+func (c *Client) retryBase() time.Duration {
+	if c.RetryBase > 0 {
+		return c.RetryBase
+	}
+	return defaultRetryBase
+}
+
+// backoffDelay is the sleep before retry attempt i (1-based): the base delay
+// doubled per attempt, jittered uniformly over [0.5d, 1.5d).
+func backoffDelay(base time.Duration, attempt int) time.Duration {
+	d := base << (attempt - 1)
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// retriable reports whether a request outcome is worth re-sending: transport
+// errors (no status at all) and server-side 5xx failures. Every 4xx is an
+// application answer — a retry would just repeat it.
+func retriable(status int, err error) bool {
+	return (err != nil && status == 0) || status >= http.StatusInternalServerError
+}
+
 // do sends a JSON request and decodes a JSON response into out (out may be
 // nil). wantStatus lists acceptable statuses; anything else is decoded as an
-// ErrorResponse.
+// ErrorResponse. Non-idempotent calls use do; idempotent ones doIdempotent.
 func (c *Client) do(method, path string, body, out any, wantStatus ...int) (int, error) {
-	var rd io.Reader
+	return c.send(method, path, body, out, false, wantStatus...)
+}
+
+// doIdempotent is do with transient-failure retries.
+func (c *Client) doIdempotent(method, path string, body, out any, wantStatus ...int) (int, error) {
+	return c.send(method, path, body, out, true, wantStatus...)
+}
+
+func (c *Client) send(method, path string, body, out any, retry bool, wantStatus ...int) (int, error) {
+	var data []byte
 	if body != nil {
-		data, err := json.Marshal(body)
-		if err != nil {
+		var err error
+		if data, err = json.Marshal(body); err != nil {
 			return 0, fmt.Errorf("fleet: encoding request: %w", err)
 		}
+	}
+	attempts := 1
+	if retry {
+		attempts += c.retries()
+	}
+	var (
+		status int
+		err    error
+	)
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(backoffDelay(c.retryBase(), i))
+		}
+		status, err = c.doOnce(method, path, data, body != nil, out, wantStatus...)
+		if !retriable(status, err) {
+			break
+		}
+	}
+	return status, err
+}
+
+// doOnce performs a single attempt; the request is rebuilt from the
+// pre-marshalled body so retries never re-send a drained reader.
+func (c *Client) doOnce(method, path string, data []byte, hasBody bool, out any, wantStatus ...int) (int, error) {
+	var rd io.Reader
+	if hasBody {
 		rd = bytes.NewReader(data)
 	}
 	req, err := http.NewRequest(method, c.BaseURL+path, rd)
 	if err != nil {
 		return 0, err
 	}
-	if body != nil {
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.httpClient().Do(req)
@@ -88,7 +176,7 @@ func (c *Client) Submit(spec JobSpec) (*Job, bool, error) {
 // Jobs lists every job on the dispatcher.
 func (c *Client) Jobs() ([]*Job, error) {
 	var resp JobsResponse
-	if _, err := c.do(http.MethodGet, "/v1/jobs", nil, &resp, http.StatusOK); err != nil {
+	if _, err := c.doIdempotent(http.MethodGet, "/v1/jobs", nil, &resp, http.StatusOK); err != nil {
 		return nil, err
 	}
 	return resp.Jobs, nil
@@ -97,16 +185,18 @@ func (c *Client) Jobs() ([]*Job, error) {
 // Job fetches one job by ID.
 func (c *Client) Job(id string) (*Job, error) {
 	var j Job
-	if _, err := c.do(http.MethodGet, "/v1/jobs/"+id, nil, &j, http.StatusOK); err != nil {
+	if _, err := c.doIdempotent(http.MethodGet, "/v1/jobs/"+id, nil, &j, http.StatusOK); err != nil {
 		return nil, err
 	}
 	return &j, nil
 }
 
 // Register registers a worker and returns its ID plus the lease TTL.
+// Retried on transient failures: a duplicate registration merely leaves an
+// orphan worker entry that expires with its lease.
 func (c *Client) Register(name string) (string, time.Duration, error) {
 	var resp RegisterResponse
-	if _, err := c.do(http.MethodPost, "/v1/workers/register", RegisterRequest{Name: name}, &resp, http.StatusOK); err != nil {
+	if _, err := c.doIdempotent(http.MethodPost, "/v1/workers/register", RegisterRequest{Name: name}, &resp, http.StatusOK); err != nil {
 		return "", 0, err
 	}
 	return resp.WorkerID, time.Duration(resp.LeaseTTLMS) * time.Millisecond, nil
@@ -119,10 +209,12 @@ func (c *Client) Deregister(workerID string) error {
 }
 
 // Lease pulls the next job; (nil, 0, nil) means the queue had nothing
-// eligible.
+// eligible. Retried on transient failures: if a lease response is lost in
+// transit the leased job sits out one lease TTL and is then requeued, so
+// at-least-once delivery is preserved.
 func (c *Client) Lease(workerID string) (*Job, time.Duration, error) {
 	var resp LeaseResponse
-	status, err := c.do(http.MethodPost, "/v1/lease", WorkerRequest{WorkerID: workerID}, &resp,
+	status, err := c.doIdempotent(http.MethodPost, "/v1/lease", WorkerRequest{WorkerID: workerID}, &resp,
 		http.StatusOK, http.StatusNoContent)
 	if err != nil {
 		return nil, 0, err
@@ -134,9 +226,11 @@ func (c *Client) Lease(workerID string) (*Job, time.Duration, error) {
 }
 
 // Heartbeat extends the lease; ErrLeaseLost when the dispatcher already
-// requeued the job (the worker must abandon it).
+// requeued the job (the worker must abandon it). Extending a lease is
+// idempotent, so transient failures are retried; the 409 conflict is an
+// application answer and is not.
 func (c *Client) Heartbeat(workerID, jobID string, p *Progress) error {
-	status, err := c.do(http.MethodPost, "/v1/heartbeat",
+	status, err := c.doIdempotent(http.MethodPost, "/v1/heartbeat",
 		HeartbeatRequest{WorkerID: workerID, JobID: jobID, Progress: p}, nil, http.StatusOK)
 	if status == http.StatusConflict {
 		return ErrLeaseLost

@@ -19,6 +19,7 @@ import (
 	"readys/internal/core"
 	"readys/internal/nn"
 	"readys/internal/obs"
+	"readys/internal/sim"
 )
 
 // Config holds the A2C hyper-parameters. Defaults follow §V-D.
@@ -54,6 +55,12 @@ type Config struct {
 	// bit-identical at any worker count: per-episode RNG streams plus
 	// fixed-order gradient accumulation after the batch barrier.
 	RolloutWorkers int
+	// Faults, when enabled, trains under fault injection: each episode
+	// derives its own fault plan (outages, deaths, degradation) from its
+	// (Seed, episodeIndex) RNG stream, so fault streams — like duration
+	// noise — are bit-reproducible at any worker count. The zero value
+	// trains fault-free.
+	Faults sim.FaultSpec
 }
 
 // DefaultConfig returns the hyper-parameters used throughout the experiment
@@ -132,10 +139,16 @@ type Trainer struct {
 	baseline float64
 }
 
-// NewTrainer prepares training of the agent on the problem.
+// NewTrainer prepares training of the agent on the problem. A fault spec in
+// the config is copied onto the trainer's problem, so rollouts (but not the
+// HEFT reward baseline, which stays the fault-free projection) run under
+// fault injection.
 func NewTrainer(agent *core.Agent, problem core.Problem, cfg Config) *Trainer {
 	if cfg.Episodes <= 0 || cfg.BatchEpisodes <= 0 {
 		panic(fmt.Sprintf("rl: invalid config %+v", cfg))
+	}
+	if cfg.Faults.Enabled() {
+		problem.Faults = cfg.Faults
 	}
 	return &Trainer{
 		Agent:    agent,

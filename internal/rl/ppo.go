@@ -8,6 +8,7 @@ import (
 	"readys/internal/core"
 	"readys/internal/nn"
 	"readys/internal/obs"
+	"readys/internal/sim"
 )
 
 // PPOConfig holds the hyper-parameters of the PPO trainer — the "more recent
@@ -34,6 +35,9 @@ type PPOConfig struct {
 	// (0 selects GOMAXPROCS). The History is bit-identical at any worker
 	// count, mirroring the A2C contract (see Config.RolloutWorkers).
 	RolloutWorkers int
+	// Faults, when enabled, trains under per-episode fault injection,
+	// mirroring the A2C contract (see Config.Faults).
+	Faults sim.FaultSpec
 }
 
 // DefaultPPOConfig returns conventional PPO constants matched to the A2C
@@ -81,6 +85,9 @@ type PPOTrainer struct {
 func NewPPOTrainer(agent *core.Agent, problem core.Problem, cfg PPOConfig) *PPOTrainer {
 	if cfg.Iterations <= 0 || cfg.EpisodesPerIter <= 0 || cfg.Epochs <= 0 {
 		panic(fmt.Sprintf("rl: invalid PPO config %+v", cfg))
+	}
+	if cfg.Faults.Enabled() {
+		problem.Faults = cfg.Faults
 	}
 	return &PPOTrainer{
 		Agent:    agent,

@@ -205,16 +205,34 @@ func (p *StaticPolicy) Reset(*sim.State) {
 	p.next = make([]int, len(p.Schedule.Order))
 }
 
-// Decide starts resource r's next prescribed task if it is ready.
+// Decide starts resource r's next prescribed task if it is ready. Tasks
+// already executed elsewhere (possible only under fault injection, when an
+// emergency round re-placed killed work) are skipped. In a forced round the
+// plan has failed — e.g. the task's prescribed resource died — and the
+// policy falls back to the highest-rank ready task to keep the run alive;
+// the makespan it pays for that is exactly the static plan's fragility.
 func (p *StaticPolicy) Decide(s *sim.State, r int) int {
 	order := p.Schedule.Order[r]
-	if p.next[r] >= len(order) {
-		return sim.NoTask
+	for p.next[r] < len(order) {
+		t := order[p.next[r]]
+		if s.Done[t] || s.Started[t] {
+			p.next[r]++
+			continue
+		}
+		if s.PredLeft[t] != 0 {
+			break
+		}
+		p.next[r]++
+		return t
 	}
-	t := order[p.next[r]]
-	if s.PredLeft[t] != 0 {
-		return sim.NoTask
+	if s.MustAct {
+		best, bestRank := sim.NoTask, math.Inf(-1)
+		for _, t := range s.Ready {
+			if p.Schedule.Rank[t] > bestRank {
+				best, bestRank = t, p.Schedule.Rank[t]
+			}
+		}
+		return best
 	}
-	p.next[r]++
-	return t
+	return sim.NoTask
 }

@@ -33,24 +33,42 @@ func (MCTPolicy) Decide(s *sim.State, r int) int {
 			bestTask, bestECT = t, ect
 		}
 	}
+	if bestTask == sim.NoTask && s.MustAct {
+		// Forced round: every ready task prefers another resource, but time
+		// cannot advance unless someone starts. Take the task completing
+		// soonest on r instead of deadlocking.
+		for _, t := range s.Ready {
+			if ect := ectOn(s, t, r); ect < bestECT {
+				bestTask, bestECT = t, ect
+			}
+		}
+	}
 	return bestTask
 }
 
+// ectOn returns the expected completion time of ready task t on resource r
+// under r's current speed factor.
+func ectOn(s *sim.State, t, r int) float64 {
+	start := s.Now + s.EstTimeUntilFree(r)
+	// With the communication extension, inputs produced elsewhere delay the
+	// start on r.
+	if dr := s.DataReadyTime(t, r); dr > start {
+		start = dr
+	}
+	return start + s.EstDuration(s.Graph.Tasks[t].Kernel, r)
+}
+
 // mctChoice returns the resource minimising the expected completion time of
-// task t and that time. Ties break towards the smaller resource ID,
-// keeping the heuristic deterministic.
+// task t and that time. Ties break towards the smaller resource ID, keeping
+// the heuristic deterministic. Unavailable resources (outage or death) are
+// excluded: dispatching to them would stall forever.
 func mctChoice(s *sim.State, t int) (int, float64) {
-	kernel := s.Graph.Tasks[t].Kernel
 	best, bestECT := -1, math.Inf(1)
 	for r := 0; r < s.Platform.Size(); r++ {
-		start := s.Now + s.EstTimeUntilFree(r)
-		// With the communication extension, inputs produced elsewhere delay
-		// the start on r.
-		if dr := s.DataReadyTime(t, r); dr > start {
-			start = dr
+		if !s.ResourceUp(r) {
+			continue
 		}
-		ect := start + s.Timing.ExpectedDuration(kernel, s.Platform.Resources[r].Type)
-		if ect < bestECT {
+		if ect := ectOn(s, t, r); ect < bestECT {
 			best, bestECT = r, ect
 		}
 	}

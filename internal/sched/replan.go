@@ -17,9 +17,10 @@ import (
 // it serves as an upper-bound reference for plan-based scheduling under
 // uncertainty.
 type ReplanHEFTPolicy struct {
-	plan       *HEFTSchedule
-	next       []int
-	doneAtPlan int
+	plan        *HEFTSchedule
+	next        []int
+	doneAtPlan  int
+	epochAtPlan int
 }
 
 // NewReplanHEFTPolicy returns a fresh re-planning policy.
@@ -30,11 +31,16 @@ func (p *ReplanHEFTPolicy) Reset(s *sim.State) {
 	p.plan = nil
 	p.next = nil
 	p.doneAtPlan = -1
+	p.epochAtPlan = -1
 }
 
 // Decide implements sim.Policy.
 func (p *ReplanHEFTPolicy) Decide(s *sim.State, r int) int {
-	if p.plan == nil || s.NumDone != p.doneAtPlan {
+	// Re-plan whenever the world drifted: a task completed, or a fault
+	// event changed resource state (outage, recovery, death, degrade) —
+	// keying only on NumDone would keep dispatching onto dead resources
+	// and never reclaim killed work.
+	if p.plan == nil || s.NumDone != p.doneAtPlan || s.FaultEpoch != p.epochAtPlan {
 		p.replan(s)
 	}
 	order := p.plan.Order[r]
@@ -45,10 +51,21 @@ func (p *ReplanHEFTPolicy) Decide(s *sim.State, r int) int {
 			continue
 		}
 		if s.PredLeft[t] != 0 {
-			return sim.NoTask
+			break
 		}
 		p.next[r]++
 		return t
+	}
+	if s.MustAct {
+		// Forced round: start the highest-rank ready task rather than
+		// deadlocking on a plan invalidated between replans.
+		best, bestRank := sim.NoTask, math.Inf(-1)
+		for _, t := range s.Ready {
+			if p.plan.Rank[t] > bestRank {
+				best, bestRank = t, p.plan.Rank[t]
+			}
+		}
+		return best
 	}
 	return sim.NoTask
 }
@@ -106,7 +123,14 @@ func (p *ReplanHEFTPolicy) replan(s *sim.State) {
 		}
 		bestRes, bestStart, bestEnd := -1, 0.0, math.Inf(1)
 		for r := 0; r < s.Platform.Size(); r++ {
-			dur := s.Timing.ExpectedDuration(g.Tasks[t].Kernel, s.Platform.Resources[r].Type)
+			// Only place on currently available resources, at their current
+			// speed; a recovery or degrade bumps FaultEpoch and triggers a
+			// fresh plan. At least one resource is up whenever the engine
+			// asks for a decision, so bestRes is always found.
+			if !s.ResourceUp(r) {
+				continue
+			}
+			dur := s.EstDuration(g.Tasks[t].Kernel, r)
 			start := earliestGap(timelines[r], readyAt, dur)
 			if end := start + dur; end < bestEnd {
 				bestRes, bestStart, bestEnd = r, start, end
@@ -128,6 +152,7 @@ func (p *ReplanHEFTPolicy) replan(s *sim.State) {
 	p.plan = plan
 	p.next = make([]int, s.Platform.Size())
 	p.doneAtPlan = s.NumDone
+	p.epochAtPlan = s.FaultEpoch
 }
 
 func sortByRankDesc(xs []int, rank []float64) {

@@ -11,6 +11,12 @@
 // duration model at start time, so dynamic policies observe — and can react
 // to — realised durations, while static policies suffer from drift, exactly
 // the phenomenon the paper studies.
+//
+// Beyond duration noise the engine can replay a deterministic FaultPlan
+// (Options.Faults): transient resource outages, permanent deaths and
+// mid-run speed degradation, with in-flight tasks killed and re-executed.
+// With an empty plan the fault layer is bit-inert — every existing result
+// is unchanged.
 package sim
 
 import (
@@ -73,22 +79,72 @@ type State struct {
 	// the ∅ action must not idle when MustAct is true.
 	MustAct bool
 
+	// Fault-injection state (Options.Faults). Policies may read it; without
+	// a fault plan every resource is Up, none Dead, all speeds 1 and the
+	// epoch stays 0.
+	//
+	// Up[r] reports whether resource r is currently available (alive and
+	// not inside an outage). Dead[r] reports permanent death. Speed[r] is
+	// the current duration multiplier of r (1 = nominal, 2 = half speed).
+	// Attempts[i] counts killed executions of task i. FaultEpoch increments
+	// whenever a fault event changes visible resource state — adaptive
+	// policies key replans on it.
+	Up         []bool
+	Dead       []bool
+	Speed      []float64
+	Attempts   []int
+	FaultEpoch int
+
+	// downUntil[r] is the engine-internal recovery time of an ongoing
+	// outage (not exposed: policies must not see the future). deathAt[r]
+	// records when r died, for tracing.
+	downUntil []float64
+	deathAt   []float64
+
 	// tracer, when set via Options.Tracer, receives task-start/task-end
-	// events per resource lane (and comm transfers). Invisible to policies.
+	// events per resource lane (and comm transfers), plus outage / death /
+	// kill fault spans. Invisible to policies.
 	tracer *obs.Tracer
 }
 
 // NumRunning returns the number of tasks currently executing.
 func (s *State) NumRunning() int { return len(s.Running) }
 
-// IsFree reports whether resource r is idle at s.Now.
-func (s *State) IsFree(r int) bool { return s.RunningTask[r] == NoTask }
+// up reports current availability, tolerating hand-built States without
+// fault bookkeeping.
+func (s *State) up(r int) bool { return s.Up == nil || s.Up[r] }
 
-// FreeResources returns the IDs of idle resources in ascending order.
+// speed returns the current duration multiplier of r (1 when no fault state
+// is attached).
+func (s *State) speed(r int) float64 {
+	if s.Speed == nil {
+		return 1
+	}
+	return s.Speed[r]
+}
+
+// ResourceUp reports whether resource r is currently available: alive and
+// not inside an outage. The engine never asks policies to fill unavailable
+// resources, but resource-ranking heuristics (MCT, re-planning HEFT) must
+// exclude them when estimating completion times.
+func (s *State) ResourceUp(r int) bool { return s.up(r) }
+
+// ResourceDead reports whether resource r failed permanently.
+func (s *State) ResourceDead(r int) bool { return s.Dead != nil && s.Dead[r] }
+
+// SpeedFactor returns the current duration multiplier of resource r.
+func (s *State) SpeedFactor(r int) float64 { return s.speed(r) }
+
+// IsFree reports whether resource r can start a task at s.Now: idle and
+// currently available.
+func (s *State) IsFree(r int) bool { return s.RunningTask[r] == NoTask && s.up(r) }
+
+// FreeResources returns the IDs of idle, available resources in ascending
+// order.
 func (s *State) FreeResources() []int {
 	var out []int
 	for r := range s.RunningTask {
-		if s.RunningTask[r] == NoTask {
+		if s.RunningTask[r] == NoTask && s.up(r) {
 			out = append(out, r)
 		}
 	}
@@ -107,18 +163,26 @@ func (s *State) TimeUntilFree(r int) float64 {
 	return d
 }
 
+// EstDuration returns the expected duration of kernel k on resource r under
+// r's current speed factor — the best estimate a scheduler can make for a
+// possibly degraded resource.
+func (s *State) EstDuration(k taskgraph.Kernel, r int) float64 {
+	return s.Timing.ExpectedDuration(k, s.Platform.Resources[r].Type) * s.speed(r)
+}
+
 // EstTimeUntilFree returns the wait before resource r becomes available as a
 // scheduler can estimate it: the running task's start time plus its
-// *expected* duration, clamped at zero when the task is overdue. This is the
-// "estimated time at which it will be available" resource feature of §III-B;
-// under duration noise it deviates from the truth, which is exactly the
-// information imperfection dynamic schedulers must cope with.
+// *expected* duration (under r's current speed factor), clamped at zero when
+// the task is overdue. This is the "estimated time at which it will be
+// available" resource feature of §III-B; under duration noise it deviates
+// from the truth, which is exactly the information imperfection dynamic
+// schedulers must cope with.
 func (s *State) EstTimeUntilFree(r int) float64 {
 	t := s.RunningTask[r]
 	if t == NoTask {
 		return 0
 	}
-	e := s.Timing.ExpectedDuration(s.Graph.Tasks[t].Kernel, s.Platform.Resources[r].Type)
+	e := s.EstDuration(s.Graph.Tasks[t].Kernel, r)
 	d := s.StartTime[t] + e - s.Now
 	if d < 0 {
 		return 0
@@ -152,6 +216,10 @@ type Result struct {
 	Decisions int
 	// IdleDecisions counts ∅ actions taken.
 	IdleDecisions int
+	// Kills lists the task attempts terminated by fault events (empty
+	// without a fault plan). The final, successful attempt of each task is
+	// the one recorded in Trace.
+	Kills []Kill
 }
 
 // Options configures a simulation run.
@@ -164,6 +232,11 @@ type Options struct {
 	// Rng drives duration sampling and the random choice of the current
 	// processor. Required.
 	Rng *rand.Rand
+	// Faults, if non-nil and non-empty, replays the fault plan against the
+	// run: outages and deaths kill in-flight work, degrades re-time it.
+	// Fault events consume no randomness from Rng, and an empty plan leaves
+	// every result bit-identical to a fault-free run.
+	Faults *FaultPlan
 	// OnDecision, if non-nil, is invoked after every policy decision with
 	// the state, the resource asked, and the chosen task (or NoTask). Used
 	// by the RL trainer to record trajectories.
@@ -180,12 +253,21 @@ type Options struct {
 // and tasks remain: simulated time can no longer advance.
 var ErrDeadlock = errors.New("sim: all resources idle with no running task but tasks remain")
 
+// ErrAllResourcesDead is returned when the fault plan permanently kills every
+// resource before the DAG completes: the remaining tasks have no compatible
+// survivor. Plans produced by GeneratePlan always spare one resource.
+var ErrAllResourcesDead = errors.New("sim: every resource died before the DAG completed")
+
 // Simulate executes the whole DAG under the policy and returns the schedule.
 // The graph must be a valid DAG. An error is returned if the policy picks a
-// non-ready task or deadlocks the system.
+// non-ready task or deadlocks the system, or if a fault plan kills every
+// resource before the DAG completes.
 func Simulate(g *taskgraph.Graph, plat platform.Platform, timing platform.Timing, pol Policy, opt Options) (Result, error) {
 	if opt.Rng == nil {
 		return Result{}, errors.New("sim: Options.Rng is required")
+	}
+	if err := opt.Faults.Validate(plat.Size()); err != nil {
+		return Result{}, err
 	}
 	n := g.NumTasks()
 	s := &State{
@@ -202,6 +284,12 @@ func Simulate(g *taskgraph.Graph, plat platform.Platform, timing platform.Timing
 		BusyUntil:   make([]float64, plat.Size()),
 		RunningTask: make([]int, plat.Size()),
 		PredLeft:    make([]int, n),
+		Up:          make([]bool, plat.Size()),
+		Dead:        make([]bool, plat.Size()),
+		Speed:       make([]float64, plat.Size()),
+		Attempts:    make([]int, n),
+		downUntil:   make([]float64, plat.Size()),
+		deathAt:     make([]float64, plat.Size()),
 		tracer:      opt.Tracer,
 	}
 	if s.tracer != nil {
@@ -212,6 +300,8 @@ func Simulate(g *taskgraph.Graph, plat platform.Platform, timing platform.Timing
 	}
 	for r := range s.RunningTask {
 		s.RunningTask[r] = NoTask
+		s.Up[r] = true
+		s.Speed[r] = 1
 	}
 	for i := 0; i < n; i++ {
 		s.PredLeft[i] = len(g.Pred[i])
@@ -219,6 +309,7 @@ func Simulate(g *taskgraph.Graph, plat platform.Platform, timing platform.Timing
 			s.Ready = append(s.Ready, i)
 		}
 	}
+	faults := newFaultTimeline(opt.Faults)
 	pol.Reset(s)
 
 	res := Result{Trace: make([]Placement, 0, n)}
@@ -231,22 +322,165 @@ func Simulate(g *taskgraph.Graph, plat platform.Platform, timing platform.Timing
 		if s.NumDone == n {
 			break
 		}
-		if len(s.Running) == 0 {
-			// Every free resource idled while nothing runs: time cannot
-			// advance. Re-ask in forced mode (∅ disallowed) until someone
-			// starts a task.
+		tc := earliestCompletion(s)
+		tf := faults.nextTime()
+		if math.IsInf(tc, 1) && math.IsInf(tf, 1) {
+			// Nothing runs and no fault event can change the resource
+			// state. If nothing is even alive, the remaining tasks can
+			// never complete; otherwise re-ask in forced mode (∅
+			// disallowed) until someone starts a task.
+			if s.aliveCount() == 0 {
+				return res, fmt.Errorf("%w: %d tasks remain", ErrAllResourcesDead, n-s.NumDone)
+			}
 			if err := forcedPhase(s, pol, opt, &res); err != nil {
 				return res, err
 			}
+			tc = earliestCompletion(s)
 		}
-		// Advance to the earliest completion.
+		// Advance to the earlier of the next completion and the next fault
+		// event; completions win ties so a task finishing exactly at an
+		// outage boundary is not killed retroactively.
+		if tf < tc {
+			s.Now = tf
+			applyFaults(s, faults, &res)
+			continue
+		}
 		completeNext(s)
 	}
 	res.Makespan = s.Now
 	for i := 0; i < n; i++ {
 		res.Trace = append(res.Trace, Placement{Task: i, Resource: s.AssignedTo[i], Start: s.StartTime[i], End: s.EndTime[i]})
 	}
+	if s.tracer != nil {
+		finishTraceFaults(s)
+	}
 	return res, nil
+}
+
+// earliestCompletion returns the earliest running-task end time, or +Inf when
+// nothing is running.
+func earliestCompletion(s *State) float64 {
+	earliest := math.Inf(1)
+	for _, t := range s.Running {
+		if s.EndTime[t] < earliest {
+			earliest = s.EndTime[t]
+		}
+	}
+	return earliest
+}
+
+// aliveCount returns the number of resources that have not died permanently.
+func (s *State) aliveCount() int {
+	var n int
+	for r := range s.Dead {
+		if !s.Dead[r] {
+			n++
+		}
+	}
+	return n
+}
+
+// applyFaults applies every timeline event scheduled at s.Now.
+func applyFaults(s *State, tl *faultTimeline, res *Result) {
+	for tl.next < len(tl.events) && tl.events[tl.next].at <= s.Now {
+		applyFaultEvent(s, tl.events[tl.next], res)
+		tl.next++
+	}
+}
+
+// applyFaultEvent transitions resource state for one timeline event, killing
+// in-flight work and re-timing remaining work as required.
+func applyFaultEvent(s *State, ev tlEvent, res *Result) {
+	r := ev.resource
+	switch ev.kind {
+	case tlOutage:
+		if s.Dead[r] {
+			return
+		}
+		if ev.end > s.downUntil[r] {
+			s.downUntil[r] = ev.end
+		}
+		if s.tracer != nil {
+			traceOutage(s, r, ev.at, ev.end-ev.at)
+		}
+		if s.Up[r] {
+			s.Up[r] = false
+			killRunning(s, r, ev.at, FaultOutage, res)
+			s.FaultEpoch++
+		}
+	case tlRecover:
+		if s.Dead[r] || s.Up[r] {
+			return
+		}
+		// A longer overlapping outage may still hold the resource down;
+		// only the recovery matching the latest outage end releases it.
+		if ev.at >= s.downUntil[r] {
+			s.Up[r] = true
+			s.FaultEpoch++
+		}
+	case tlDeath:
+		if s.Dead[r] {
+			return
+		}
+		s.Dead[r] = true
+		s.deathAt[r] = ev.at
+		s.downUntil[r] = math.Inf(1)
+		if s.tracer != nil {
+			traceDeath(s, r, ev.at)
+		}
+		s.Up[r] = false
+		killRunning(s, r, ev.at, FaultDeath, res)
+		s.FaultEpoch++
+	case tlDegrade:
+		if s.Dead[r] {
+			return
+		}
+		old := s.Speed[r]
+		if ev.factor == old {
+			return
+		}
+		s.Speed[r] = ev.factor
+		// Re-time the remaining *compute* of the in-flight task by the
+		// factor ratio: work already done stays done, and the data stall
+		// (network, not compute) is unaffected. BusyUntil tracks the pure
+		// compute span, so its remainder is exactly what stretches;
+		// EndTime shifts by the same delta.
+		if t := s.RunningTask[r]; t != NoTask {
+			ratio := ev.factor / old
+			if rem := s.BusyUntil[r] - ev.at; rem > 0 {
+				s.BusyUntil[r] = ev.at + rem*ratio
+				s.EndTime[t] += rem * (ratio - 1)
+			}
+		}
+		if s.tracer != nil {
+			traceDegrade(s, r, ev.at, ev.factor)
+		}
+		s.FaultEpoch++
+	}
+}
+
+// killRunning terminates the task executing on resource r (if any) at time
+// at: the attempt is recorded, the task returns to the ready set, and its
+// predecessors' outputs are retained so re-execution only repeats the killed
+// work (plus fresh input transfers under the communication model).
+func killRunning(s *State, r int, at float64, cause FaultKind, res *Result) {
+	t := s.RunningTask[r]
+	if t == NoTask {
+		return
+	}
+	if s.tracer != nil {
+		traceKill(s, t, r, at)
+	}
+	res.Kills = append(res.Kills, Kill{Task: t, Resource: r, Start: s.StartTime[t], At: at, Cause: cause})
+	s.Attempts[t]++
+	s.Running = removeSorted(s.Running, t)
+	s.RunningTask[r] = NoTask
+	s.BusyUntil[r] = at
+	s.Started[t] = false
+	s.AssignedTo[t] = -1
+	s.StartTime[t] = 0
+	s.EndTime[t] = 0
+	s.Ready = insertSorted(s.Ready, t)
 }
 
 // decisionPhase asks the policy to fill free resources. Each free resource is
@@ -293,8 +527,9 @@ func (s *State) DataReadyTime(task, r int) float64 {
 }
 
 // forcedPhase re-asks free resources with MustAct set until one starts a
-// task. It is only entered when nothing is running and every resource idled;
-// a policy that still declines every resource deadlocks the system.
+// task. It is only entered when nothing is running, no fault event is
+// pending, and every resource idled; a policy that still declines every
+// resource deadlocks the system.
 func forcedPhase(s *State, pol Policy, opt Options, res *Result) error {
 	s.MustAct = true
 	defer func() { s.MustAct = false }()
@@ -322,7 +557,7 @@ func forcedPhase(s *State, pol Policy, opt Options, res *Result) error {
 }
 
 // startTask begins executing task on resource r at s.Now, sampling its actual
-// duration.
+// duration (scaled by r's current speed factor).
 func startTask(s *State, task, r int, rng *rand.Rand) error {
 	if task < 0 || task >= s.Graph.NumTasks() {
 		return fmt.Errorf("sim: policy chose invalid task %d", task)
@@ -334,9 +569,9 @@ func startTask(s *State, task, r int, rng *rand.Rand) error {
 		return fmt.Errorf("sim: policy chose non-ready task %d (%d predecessors pending)", task, s.PredLeft[task])
 	}
 	if !s.IsFree(r) {
-		return fmt.Errorf("sim: resource %d is busy", r)
+		return fmt.Errorf("sim: resource %d is busy or unavailable", r)
 	}
-	dur := s.Timing.SampleDuration(rng, s.Graph.Tasks[task].Kernel, s.Platform.Resources[r].Type, s.Sigma)
+	dur := s.Timing.SampleDuration(rng, s.Graph.Tasks[task].Kernel, s.Platform.Resources[r].Type, s.Sigma) * s.speed(r)
 	// Communication extension: the computation stalls until every input tile
 	// produced on another resource has arrived (transfers overlap but data
 	// cannot be consumed before it lands).
@@ -361,13 +596,7 @@ func startTask(s *State, task, r int, rng *rand.Rand) error {
 // completeNext advances time to the earliest running-task completion and
 // retires every task finishing at that instant.
 func completeNext(s *State) {
-	earliest := math.Inf(1)
-	for _, t := range s.Running {
-		if s.EndTime[t] < earliest {
-			earliest = s.EndTime[t]
-		}
-	}
-	s.Now = earliest
+	s.Now = earliestCompletion(s)
 	// Retire all tasks completing now (ties happen with sigma = 0).
 	for i := 0; i < len(s.Running); {
 		t := s.Running[i]

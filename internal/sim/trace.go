@@ -53,3 +53,53 @@ func traceStart(s *State, task, r int) {
 func traceEnd(s *State, task int) {
 	s.tracer.End(s.Graph.Tasks[task].Name, TracePID, int64(s.AssignedTo[task]), s.EndTime[task]*1000)
 }
+
+// Fault spans. Fault events render on the lane of the affected resource:
+//   - "outage" — an X slice covering the planned unavailability window;
+//   - "death"  — an i instant when the resource dies, plus a final "dead"
+//     X slice from the death to the makespan emitted at end of run;
+//   - "degrade" — an i instant carrying the new speed factor;
+//   - "kill"   — the killed attempt's B is closed by a normal E at the kill
+//     instant, marked with a "kill" i instant naming the task.
+//
+// X and i phases carry no stack constraints, so ValidateChromeTrace accepts
+// traces with and without fault spans unchanged. Comm slices of killed
+// attempts remain in the trace: the transfers did happen.
+
+// traceOutage records the outage window on the resource lane at the time the
+// outage begins.
+func traceOutage(s *State, r int, at, dur float64) {
+	s.tracer.Complete("outage", "fault", TracePID, int64(r), at*1000, dur*1000, nil)
+}
+
+// traceDeath records the instant resource r dies. The terminal "dead" slice
+// is emitted by finishTraceFaults once the makespan is known.
+func traceDeath(s *State, r int, at float64) {
+	s.tracer.Instant("death", "fault", TracePID, int64(r), at*1000, nil)
+}
+
+// traceDegrade records a speed-factor change on the resource lane.
+func traceDegrade(s *State, r int, at, factor float64) {
+	s.tracer.Instant("degrade", "fault", TracePID, int64(r), at*1000, map[string]any{"factor": factor})
+}
+
+// traceKill closes the killed attempt's open B slice and marks the kill
+// instant. Must run before the kill bookkeeping resets AssignedTo.
+func traceKill(s *State, task, r int, at float64) {
+	s.tracer.End(s.Graph.Tasks[task].Name, TracePID, int64(r), at*1000)
+	s.tracer.Instant("kill", "fault", TracePID, int64(r), at*1000, map[string]any{
+		"task":    task,
+		"started": s.StartTime[task] * 1000,
+	})
+}
+
+// finishTraceFaults emits, for each permanently dead resource, a "dead" X
+// slice from its death to the end of the run so the loss is visible across
+// the whole Gantt tail.
+func finishTraceFaults(s *State) {
+	for r := range s.Dead {
+		if s.Dead[r] && s.Now > s.deathAt[r] {
+			s.tracer.Complete("dead", "fault", TracePID, int64(r), s.deathAt[r]*1000, (s.Now-s.deathAt[r])*1000, nil)
+		}
+	}
+}
