@@ -2,12 +2,15 @@
 #
 #   make check       — everything a PR must pass: build, vet, tests, race
 #                      tests, observability smoke test, bench smoke test,
-#                      fleet smoke test
+#                      fleet smoke test, stream smoke test
 #   make race        — just the race-detector runs (serving, agent core, RL,
-#                      fleet, fault-injecting simulator)
+#                      fleet, fault-injecting simulator, streaming arrivals)
 #   make obs-smoke   — end-to-end telemetry/trace pipeline check
 #   make chaos-smoke — single-seed fault-injection run through readys-sim
 #                      (plan generation, kill/re-execution, strict validator)
+#   make stream-smoke— tiny online-scheduling run through readys-stream
+#                      (Poisson arrivals, faults mid-stream, strict union
+#                      validation, trace checked by readys-obs-check)
 #   make fleet-smoke — dispatcher + worker end-to-end check (train job,
 #                      artifact verification, train → serve publish)
 #   make bench       — hot-path benchmark snapshot (writes BENCH_<rev>.json)
@@ -19,9 +22,9 @@
 GO ?= go
 OBS_TMP ?= /tmp/readys-obs-smoke
 
-.PHONY: check build vet test race obs-smoke chaos-smoke fleet-smoke bench bench-smoke bench-serve serve fleet
+.PHONY: check build vet test race obs-smoke chaos-smoke stream-smoke fleet-smoke bench bench-smoke bench-serve serve fleet
 
-check: build vet test race obs-smoke chaos-smoke fleet-smoke bench-smoke
+check: build vet test race obs-smoke chaos-smoke stream-smoke fleet-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -35,9 +38,10 @@ test:
 # Concurrency-sensitive packages run under the race detector: internal/serve
 # (registry, pool, handlers), internal/core (shared-agent inference),
 # internal/rl (parallel batch rollouts), internal/fleet (dispatcher, leases,
-# workers), and internal/sim (fault injection under parallel rollouts).
+# workers), internal/sim (fault injection under parallel rollouts), and
+# internal/stream (stream rollouts share agents across workers).
 race:
-	$(GO) test -race ./internal/serve/... ./internal/core/... ./internal/rl/... ./internal/fleet/... ./internal/sim/...
+	$(GO) test -race ./internal/serve/... ./internal/core/... ./internal/rl/... ./internal/fleet/... ./internal/sim/... ./internal/stream/...
 
 # End-to-end observability check: train a tiny agent with -telemetry, simulate
 # one DAG with -trace, then assert both artifacts are valid and non-empty.
@@ -59,6 +63,21 @@ chaos-smoke:
 	$(GO) run ./cmd/readys-sim -kind cholesky -T 3 -cpus 1 -gpus 1 -sigma 0.1 \
 		-policy mct -faults -fault-rate 2 -seed 7 > /dev/null
 	@echo chaos-smoke OK
+
+# Online-scheduling smoke: a tiny mixed-family Poisson stream scheduled
+# through readys-stream with faults firing mid-stream. Exercises arrivals on
+# the persistent cluster, kills/re-execution across jobs and the strict union
+# validator (readys-stream fails hard on an invalid schedule), then checks the
+# emitted Chrome trace with readys-obs-check.
+STREAM_TMP ?= /tmp/readys-stream-smoke
+stream-smoke:
+	rm -rf $(STREAM_TMP) && mkdir -p $(STREAM_TMP)
+	$(GO) run ./cmd/readys-stream -rate 6 -jobs 6 -sigma 0.1 \
+		-policy heft-per-job -faults -fault-rate 1 -seed 7 -quiet \
+		-trace $(STREAM_TMP)/trace.json > /dev/null
+	$(GO) run ./cmd/readys-obs-check -trace $(STREAM_TMP)/trace.json
+	rm -rf $(STREAM_TMP)
+	@echo stream-smoke OK
 
 # Full perf snapshot: SpMM vs dense propagation, decisions/sec, training
 # episodes/sec (sparse vs DenseProp ablation, workers 1 vs GOMAXPROCS).

@@ -2,13 +2,15 @@
 // writes the results as a JSON snapshot (BENCH_<rev>.json by default), so the
 // perf trajectory of the codebase is tracked in-tree alongside the code.
 //
-// Three groups are reported:
+// Four groups are reported:
 //
 //   - spmm: sparse CSR propagation vs the dense n x n baseline at GCN shapes
 //     (ns/op and allocs/op via testing.Benchmark),
 //   - decide: single scheduling decisions per second through Agent.Forward,
 //   - train: training episodes per second on a Cholesky batch, sparse vs the
-//     DenseProp ablation and rollout workers 1 vs GOMAXPROCS.
+//     DenseProp ablation and rollout workers 1 vs GOMAXPROCS,
+//   - stream: online multi-tenant scheduling throughput — whole Poisson job
+//     streams through stream.Run, as wall-clock jobs/sec per policy.
 //
 // Usage:
 //
@@ -33,7 +35,11 @@ import (
 	"readys/internal/core"
 	"readys/internal/exp"
 	"readys/internal/nn"
+	"readys/internal/platform"
 	"readys/internal/rl"
+	"readys/internal/sched"
+	"readys/internal/sim"
+	"readys/internal/stream"
 	"readys/internal/taskgraph"
 	"readys/internal/tensor"
 )
@@ -72,6 +78,14 @@ type trainResult struct {
 	WorkersSpeedup    float64 `json:"workers_speedup"`
 }
 
+type streamResult struct {
+	Policy      string  `json:"policy"`
+	Jobs        int     `json:"jobs"`
+	Tasks       int     `json:"tasks"`
+	JobsPerSec  float64 `json:"stream_jobs_per_sec"`
+	TasksPerSec float64 `json:"tasks_per_sec"`
+}
+
 type report struct {
 	Rev        string         `json:"rev"`
 	GoVersion  string         `json:"go_version"`
@@ -82,6 +96,7 @@ type report struct {
 	SpMM       []spmmResult   `json:"spmm"`
 	Decide     []decideResult `json:"decide"`
 	Train      []trainResult  `json:"train"`
+	Stream     []streamResult `json:"stream"`
 }
 
 func main() {
@@ -138,6 +153,16 @@ func main() {
 		fmt.Printf("train T=%d: sparse %.2f eps/sec vs dense %.2f eps/sec (%.1fx); workers %d: %.2f eps/sec vs 1 worker %.2f eps/sec (%.2fx)\n",
 			tr.T, tr.SparseEpsPerSec, tr.DenseEpsPerSec, tr.SparseVsDense,
 			tr.Workers, tr.WorkersNEpsPerSec, tr.Workers1EpsPerSec, tr.WorkersSpeedup)
+	}
+
+	streamJobs := 20
+	if *quick {
+		streamJobs = 8
+	}
+	for _, sr := range benchStream(streamJobs) {
+		rep.Stream = append(rep.Stream, sr)
+		fmt.Printf("stream %s: %.1f jobs/sec (%.0f tasks/sec, %d jobs of %d tasks)\n",
+			sr.Policy, sr.JobsPerSec, sr.TasksPerSec, sr.Jobs, sr.Tasks)
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -232,6 +257,59 @@ func benchDecide(T int) decideResult {
 		AllocsPerOp:     res.AllocsPerOp() / int64(decisions),
 		BytesPerOp:      res.AllocedBytesPerOp() / int64(decisions),
 	}
+}
+
+// benchStream measures online-scheduling throughput: whole Poisson streams
+// (mixed Cholesky/LU jobs on 2 CPUs + 2 GPUs) scheduled end to end through
+// stream.Run, reported as wall-clock jobs/sec and tasks/sec per policy. The
+// READYS row uses a fresh (untrained) default-architecture agent — inference
+// cost does not depend on the weights.
+func benchStream(jobs int) []streamResult {
+	arrivals, err := stream.PoissonProcess{
+		Rate: 8, Jobs: jobs,
+		Kinds: []taskgraph.Kind{taskgraph.Cholesky, taskgraph.LU},
+		Sizes: []int{2, 3},
+	}.Generate(rand.New(rand.NewSource(1)))
+	if err != nil {
+		log.Fatalf("bench stream: %v", err)
+	}
+	tasks := 0
+	for _, a := range arrivals {
+		tasks += a.Graph().NumTasks()
+	}
+	agent := core.NewAgent(core.Config{Window: 2, Layers: 2, Hidden: 32, Seed: 1})
+	cases := []struct {
+		name string
+		mk   func() sim.Policy
+	}{
+		{"mct", func() sim.Policy { return sched.MCTPolicy{} }},
+		{"heft-per-job", func() sim.Policy { return stream.NewHEFTPerJobPolicy() }},
+		{"readys", func() sim.Policy { return core.NewPolicy(agent) }},
+	}
+	out := make([]streamResult, 0, len(cases))
+	for _, c := range cases {
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := stream.Run(c.mk(), stream.Config{
+					Platform: platform.New(2, 2),
+					Arrivals: arrivals,
+					Sigma:    0.1,
+					Rng:      rand.New(rand.NewSource(2)),
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		secPerStream := float64(res.NsPerOp()) / 1e9
+		out = append(out, streamResult{
+			Policy:      c.name,
+			Jobs:        jobs,
+			Tasks:       tasks,
+			JobsPerSec:  float64(jobs) / secPerStream,
+			TasksPerSec: float64(tasks) / secPerStream,
+		})
+	}
+	return out
 }
 
 // benchTrain measures training throughput (episodes/sec) on Cholesky T with

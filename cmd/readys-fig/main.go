@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "3", "figure: 3, 4, 5, 6, 7, resilience, ablation or search")
+		fig      = flag.String("fig", "3", "figure: 3, 4, 5, 6, 7, resilience, stream, ablation or search")
 		models   = flag.String("models", exp.DefaultModelsDir(), "model directory")
 		out      = flag.String("o", "", "output CSV path (default: stdout as text)")
 		runs     = flag.Int("runs", 10, "figure 7: episodes per size")
@@ -48,12 +48,14 @@ func main() {
 		tab, _ = exp.Figure7([]int{2, 4, 6, 8, 10, 12}, *runs)
 	case "resilience":
 		tab, err = exp.ResilienceFigure(*models)
+	case "stream":
+		tab, err = exp.StreamFigure(*models)
 	case "ablation":
 		tab, err = exp.Ablation(*models, *episodes)
 	case "search":
 		_, tab, err = exp.RandomSearch(rand.New(rand.NewSource(1)), *trials, *episodes)
 	default:
-		log.Fatalf("unknown figure %q (want 3-7, resilience, ablation or search)", *fig)
+		log.Fatalf("unknown figure %q (want 3-7, resilience, stream, ablation or search)", *fig)
 	}
 	if err != nil {
 		log.Fatal(err)

@@ -6,6 +6,7 @@
 //
 //	readys-train -kind cholesky -T 8 -cpus 2 -gpus 2 -episodes 2500 -out models
 //	readys-train -all -out models
+//	readys-train -stream -episodes 600 -out models
 package main
 
 import (
@@ -33,6 +34,7 @@ func main() {
 		episodes  = flag.Int("episodes", 0, "training episodes (0 = size-scaled default)")
 		out       = flag.String("out", exp.DefaultModelsDir(), "model output directory")
 		all       = flag.Bool("all", false, "train every agent needed by the paper's figures")
+		streaming = flag.Bool("stream", false, "train on streaming job arrivals (mixed-family Poisson streams; see exp.TrainStreamAgent)")
 		window    = flag.Int("window", 2, "sub-DAG window depth w")
 		layers    = flag.Int("layers", 2, "number of GCN layers g")
 		hidden    = flag.Int("hidden", 32, "embedding width")
@@ -46,6 +48,16 @@ func main() {
 
 	if *all {
 		if err := trainAll(*out, *quiet, *telemetry, *workers); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *streaming {
+		eps := *episodes
+		if eps == 0 {
+			eps = exp.StreamTrainEpisodes
+		}
+		if err := trainStream(*out, eps, *quiet, *workers); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -111,6 +123,34 @@ func trainOne(spec exp.AgentSpec, dir string, episodes int, quiet bool, telemetr
 	fmt.Printf("done in %s: HEFT baseline %.1f, final mean reward %+.3f → %s\n",
 		time.Since(start).Round(time.Second), hist.BaselineMakespan,
 		hist.FinalMeanReward(100), spec.ModelPath(dir))
+	return nil
+}
+
+// trainStream trains the stream benchmark's agent on Poisson arrival streams
+// and saves it under exp.StreamAgentPath(dir). Existing checkpoints are
+// skipped, matching trainOne.
+func trainStream(dir string, episodes int, quiet bool, workers int) error {
+	if _, err := os.Stat(exp.StreamAgentPath(dir)); err == nil {
+		fmt.Printf("%s: checkpoint exists, skipping\n", exp.StreamAgentPath(dir))
+		return nil
+	}
+	fmt.Printf("training stream agent for %d episodes...\n", episodes)
+	start := time.Now()
+	interval := episodes / 10
+	if interval == 0 {
+		interval = 1
+	}
+	_, hist, err := exp.TrainStreamAgent(dir, episodes, workers, func(st rl.EpisodeStats) {
+		if !quiet && st.Episode%interval == 0 {
+			fmt.Printf("  ep %5d  reward %+.3f  stream makespan %8.1f  entropy %.3f\n",
+				st.Episode, st.Reward, st.Makespan, st.Entropy)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("done in %s: final mean reward %+.3f → %s\n",
+		time.Since(start).Round(time.Second), hist.FinalMeanReward(100), exp.StreamAgentPath(dir))
 	return nil
 }
 

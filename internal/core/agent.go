@@ -28,6 +28,13 @@ type Config struct {
 	// numerically equivalent (see the sparse/dense equivalence tests); this
 	// exists as the ablation/benchmark baseline for the sparse hot path.
 	DenseProp bool
+	// FaultFeatures appends the fault-state block (resource availability,
+	// speed factor, normalised fault-epoch counter) to the resource context,
+	// widening the input and proc layers to NodeFeatureWidth(true) /
+	// ProcFeatureWidth(true). Off by default: the flag-off encoding and
+	// parameter layout are bit-identical to agents built before the flag
+	// existed, so legacy checkpoints load unchanged.
+	FaultFeatures bool
 	// Seed initialises the parameters.
 	Seed int64
 }
@@ -59,12 +66,12 @@ func NewAgent(cfg Config) *Agent {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	a := &Agent{Cfg: cfg}
-	a.input = nn.NewLinear(rng, "input", NumNodeFeatures, cfg.Hidden)
+	a.input = nn.NewLinear(rng, "input", NodeFeatureWidth(cfg.FaultFeatures), cfg.Hidden)
 	for l := 0; l < cfg.Layers; l++ {
 		a.gcn = append(a.gcn, nn.NewGCN(rng, fmt.Sprintf("gcn%d", l), cfg.Hidden, cfg.Hidden))
 	}
 	a.actor = nn.NewLinear(rng, "actor", cfg.Hidden, 1)
-	a.proc = nn.NewLinear(rng, "proc", NumProcFeatures, cfg.Hidden)
+	a.proc = nn.NewLinear(rng, "proc", ProcFeatureWidth(cfg.FaultFeatures), cfg.Hidden)
 	a.idle = nn.NewLinear(rng, "idle", 2*cfg.Hidden, 1)
 	a.critic = nn.NewLinear(rng, "critic", cfg.Hidden, 1)
 

@@ -49,9 +49,46 @@ const (
 	NumProcFeatures
 )
 
+// Fault-state features (Config.FaultFeatures), appended after the base
+// resource context. They expose exactly the state PR 5's fault model mutates
+// — availability, speed degradation, and how often the world has shifted —
+// so the agent can learn to route around outages instead of re-discovering
+// them through stalled ECTs.
+const (
+	procUpFrac     = NumProcFeatures + iota // fraction of resources currently up (ResourceUp)
+	procSpeed                               // SpeedFactor of the asking resource / speedNorm (clamped)
+	procFaultEpoch                          // FaultEpoch / (FaultEpoch + faultEpochNorm) ∈ [0, 1)
+
+	numFaultProcFeatures = iota
+)
+
+// speedNorm bounds the speed-factor feature (degrade factors in GeneratePlan
+// stay well under this); faultEpochNorm soft-normalises the event counter.
+const (
+	speedNorm      = 4.0
+	faultEpochNorm = 8.0
+)
+
 // NumNodeFeatures is the width of each node row: task features plus the
 // broadcast resource context.
 const NumNodeFeatures = numTaskFeatures + NumProcFeatures
+
+// ProcFeatureWidth returns the resource-context width for the given
+// fault-feature setting; NodeFeatureWidth the matching node-row width. The
+// legacy constants equal the faultFeatures=false widths, so existing
+// checkpoints keep their parameter layout bit-for-bit.
+func ProcFeatureWidth(faultFeatures bool) int {
+	if faultFeatures {
+		return NumProcFeatures + numFaultProcFeatures
+	}
+	return NumProcFeatures
+}
+
+// NodeFeatureWidth returns the per-node feature width for the given
+// fault-feature setting.
+func NodeFeatureWidth(faultFeatures bool) int {
+	return numTaskFeatures + ProcFeatureWidth(faultFeatures)
+}
 
 // degreeNorm bounds the degree features; factorisation DAGs have per-node
 // degrees well below this for the sizes studied.
@@ -114,15 +151,25 @@ func Encode(s *sim.State, resource int, F [][taskgraph.NumKernels]float64, w int
 // directed selects the row-normalised downstream operator (see
 // nn.DirectedNormalizedAdjacency).
 func EncodeWith(s *sim.State, resource int, F [][taskgraph.NumKernels]float64, w int, directed bool) *EncodedState {
+	return EncodeFault(s, resource, F, w, directed, false)
+}
+
+// EncodeFault is EncodeWith with an explicit fault-feature setting: when
+// faultFeatures is true the resource context (and hence every node row) gains
+// the fault-state block, widening rows to NodeFeatureWidth(true). With it
+// false the encoding is bit-identical to EncodeWith — the flag-off inertness
+// the checkpoint format relies on.
+func EncodeFault(s *sim.State, resource int, F [][taskgraph.NumKernels]float64, w int, directed, faultFeatures bool) *EncodedState {
 	g := s.Graph
 	nodes := taskgraph.Window(g, s.Running, s.Ready, w)
 	rowOf := make(map[int]int, len(nodes))
 	for row, t := range nodes {
 		rowOf[t] = row
 	}
-	maxE := s.Timing.MaxExpected()
+	maxE := s.MaxExpected()
+	procWidth := ProcFeatureWidth(faultFeatures)
 
-	proc := tensor.New(1, NumProcFeatures)
+	proc := tensor.New(1, procWidth)
 	curType := s.Platform.Resources[resource].Type
 	if curType == platform.CPU {
 		proc.Data[procIsCPU] = 1
@@ -162,11 +209,22 @@ func EncodeWith(s *sim.State, resource int, F [][taskgraph.NumKernels]float64, w
 	if len(nodes) > 0 {
 		proc.Data[procReadyCnt] = float64(len(s.Ready)) / float64(len(nodes))
 	}
+	if faultFeatures {
+		var up int
+		for r := range s.Platform.Resources {
+			if s.ResourceUp(r) {
+				up++
+			}
+		}
+		proc.Data[procUpFrac] = float64(up) / float64(s.Platform.Size())
+		proc.Data[procSpeed] = clamp01(s.SpeedFactor(resource) / speedNorm)
+		proc.Data[procFaultEpoch] = float64(s.FaultEpoch) / (float64(s.FaultEpoch) + faultEpochNorm)
+	}
 
 	// The ∅ action is legal unless the engine is in a forced round: when
 	// nothing is running and every resource idled, someone must act or time
 	// cannot advance.
-	x := tensor.New(len(nodes), NumNodeFeatures)
+	x := tensor.New(len(nodes), numTaskFeatures+procWidth)
 	es := &EncodedState{Nodes: nodes, X: x, Proc: proc, AllowIdle: !s.MustAct}
 	for row, t := range nodes {
 		task := g.Tasks[t]
@@ -178,7 +236,7 @@ func EncodeWith(s *sim.State, resource int, F [][taskgraph.NumKernels]float64, w
 			rf[featRunning] = 1
 			r := s.AssignedTo[t]
 			// Speed-aware under fault injection (exact multiply by 1 without).
-			e := s.EstDuration(task.Kernel, r)
+			e := s.EstTaskDuration(t, r)
 			rem := s.StartTime[t] + e - s.Now
 			if rem < 0 {
 				rem = 0
@@ -192,8 +250,9 @@ func EncodeWith(s *sim.State, resource int, F [][taskgraph.NumKernels]float64, w
 		for k := 0; k < taskgraph.NumKernels; k++ {
 			rf[featF0+k] = F[t][k]
 		}
-		rf[featDurCPU] = s.Timing.ExpectedDuration(task.Kernel, platform.CPU) / maxE
-		rf[featDurGPU] = s.Timing.ExpectedDuration(task.Kernel, platform.GPU) / maxE
+		tt := s.TaskTiming(t)
+		rf[featDurCPU] = tt.ExpectedDuration(task.Kernel, platform.CPU) / maxE
+		rf[featDurGPU] = tt.ExpectedDuration(task.Kernel, platform.GPU) / maxE
 		copy(rf[numTaskFeatures:], proc.Data)
 	}
 

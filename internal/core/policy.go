@@ -71,7 +71,13 @@ func (p *Policy) Reset(s *sim.State) {
 
 // Decide implements sim.Policy.
 func (p *Policy) Decide(s *sim.State, r int) int {
-	es := EncodeWith(s, r, p.feats, p.Agent.Cfg.Window, p.Agent.Cfg.Directed)
+	if len(p.feats) != s.Graph.NumTasks() {
+		// The graph grew since Reset (streaming job arrival): recompute the
+		// descendant features over the union DAG. Single-DAG episodes never
+		// take this branch after Reset.
+		p.feats = taskgraph.DescendantFeatures(s.Graph)
+	}
+	es := EncodeFault(s, r, p.feats, p.Agent.Cfg.Window, p.Agent.Cfg.Directed, p.Agent.Cfg.FaultFeatures)
 	if p.DisableIdle {
 		es.AllowIdle = false
 	}
@@ -110,6 +116,11 @@ func (a *Agent) SaveCheckpoint(path string, meta map[string]string) error {
 		"window": strconv.Itoa(a.Cfg.Window),
 		"layers": strconv.Itoa(a.Cfg.Layers),
 		"hidden": strconv.Itoa(a.Cfg.Hidden),
+	}
+	if a.Cfg.FaultFeatures {
+		// Written only when set, so flag-off checkpoints stay byte-identical
+		// to ones produced before the flag existed.
+		m["fault_features"] = "1"
 	}
 	for k, v := range meta {
 		m[k] = v

@@ -20,6 +20,7 @@ import (
 	"readys/internal/nn"
 	"readys/internal/obs"
 	"readys/internal/sim"
+	"readys/internal/stream"
 )
 
 // Config holds the A2C hyper-parameters. Defaults follow §V-D.
@@ -61,6 +62,15 @@ type Config struct {
 	// noise — are bit-reproducible at any worker count. The zero value
 	// trains fault-free.
 	Faults sim.FaultSpec
+	// Arrivals, when non-nil, trains on streaming job arrivals instead of the
+	// problem's single DAG: each episode draws its own Poisson arrival stream
+	// from its (Seed, episodeIndex) RNG and schedules it on a persistent
+	// cluster under the problem's platform, σ and fault spec. The terminal
+	// reward compares the policy's mean job response time against a
+	// HEFT-per-job replay of the same arrivals (see stream.go); the problem's
+	// Graph and Timing are ignored and History.BaselineMakespan stays 0
+	// (baselines are per-episode). Worker-count bit-identity holds unchanged.
+	Arrivals *stream.PoissonProcess
 }
 
 // DefaultConfig returns the hyper-parameters used throughout the experiment
@@ -142,7 +152,9 @@ type Trainer struct {
 // NewTrainer prepares training of the agent on the problem. A fault spec in
 // the config is copied onto the trainer's problem, so rollouts (but not the
 // HEFT reward baseline, which stays the fault-free projection) run under
-// fault injection.
+// fault injection. With Arrivals set, the single-DAG HEFT projection is
+// skipped (the problem may carry no graph at all) and baselines are computed
+// per episode on each episode's own arrival stream.
 func NewTrainer(agent *core.Agent, problem core.Problem, cfg Config) *Trainer {
 	if cfg.Episodes <= 0 || cfg.BatchEpisodes <= 0 {
 		panic(fmt.Sprintf("rl: invalid config %+v", cfg))
@@ -150,13 +162,16 @@ func NewTrainer(agent *core.Agent, problem core.Problem, cfg Config) *Trainer {
 	if cfg.Faults.Enabled() {
 		problem.Faults = cfg.Faults
 	}
-	return &Trainer{
-		Agent:    agent,
-		Problem:  problem,
-		Cfg:      cfg,
-		opt:      nn.NewAdam(cfg.LR),
-		baseline: problem.HEFTBaseline(),
+	t := &Trainer{
+		Agent:   agent,
+		Problem: problem,
+		Cfg:     cfg,
+		opt:     nn.NewAdam(cfg.LR),
 	}
+	if cfg.Arrivals == nil {
+		t.baseline = problem.HEFTBaseline()
+	}
+	return t
 }
 
 // Baseline returns the HEFT projected makespan used in the reward.
@@ -179,7 +194,7 @@ func (t *Trainer) Run(progress func(EpisodeStats)) (History, error) {
 		// Roll out the whole batch under the current parameters, then
 		// accumulate gradients in fixed episode order: History does not
 		// depend on the worker count.
-		results := collectRollouts(t.Agent, t.Problem, t.baseline, t.Cfg.Seed, start, n, workers)
+		results := collectRollouts(t.Agent, t.Problem, t.Cfg.Arrivals, t.baseline, t.Cfg.Seed, start, n, workers)
 		for k := range results {
 			r := &results[k]
 			if r.err != nil {

@@ -9,6 +9,7 @@ import (
 	"readys/internal/nn"
 	"readys/internal/obs"
 	"readys/internal/sim"
+	"readys/internal/stream"
 )
 
 // PPOConfig holds the hyper-parameters of the PPO trainer — the "more recent
@@ -38,6 +39,9 @@ type PPOConfig struct {
 	// Faults, when enabled, trains under per-episode fault injection,
 	// mirroring the A2C contract (see Config.Faults).
 	Faults sim.FaultSpec
+	// Arrivals, when non-nil, trains on streaming job arrivals, mirroring the
+	// A2C contract (see Config.Arrivals).
+	Arrivals *stream.PoissonProcess
 }
 
 // DefaultPPOConfig returns conventional PPO constants matched to the A2C
@@ -89,13 +93,16 @@ func NewPPOTrainer(agent *core.Agent, problem core.Problem, cfg PPOConfig) *PPOT
 	if cfg.Faults.Enabled() {
 		problem.Faults = cfg.Faults
 	}
-	return &PPOTrainer{
-		Agent:    agent,
-		Problem:  problem,
-		Cfg:      cfg,
-		opt:      nn.NewAdam(cfg.LR),
-		baseline: problem.HEFTBaseline(),
+	t := &PPOTrainer{
+		Agent:   agent,
+		Problem: problem,
+		Cfg:     cfg,
+		opt:     nn.NewAdam(cfg.LR),
 	}
+	if cfg.Arrivals == nil {
+		t.baseline = problem.HEFTBaseline()
+	}
+	return t
 }
 
 // Run executes the PPO loop and returns a training history with one entry
@@ -114,7 +121,7 @@ func (t *PPOTrainer) Run(progress func(EpisodeStats)) (History, error) {
 		// episode order, so the batch layout is worker-count independent.
 		var batch []ppoSample
 		var pending []EpisodeStats
-		results := collectRollouts(t.Agent, t.Problem, t.baseline, t.Cfg.Seed, it*t.Cfg.EpisodesPerIter, t.Cfg.EpisodesPerIter, workers)
+		results := collectRollouts(t.Agent, t.Problem, t.Cfg.Arrivals, t.baseline, t.Cfg.Seed, it*t.Cfg.EpisodesPerIter, t.Cfg.EpisodesPerIter, workers)
 		for k := range results {
 			r := &results[k]
 			if r.err != nil {

@@ -65,8 +65,9 @@ func phi(s *sim.State, r, task int) []float64 {
 	} else {
 		k := s.Graph.Tasks[task].Kernel
 		f[k] = 1
-		cpu := s.Timing.ExpectedDuration(k, platform.CPU)
-		gpu := s.Timing.ExpectedDuration(k, platform.GPU)
+		tt := s.TaskTiming(task)
+		cpu := tt.ExpectedDuration(k, platform.CPU)
+		gpu := tt.ExpectedDuration(k, platform.GPU)
 		if gpu > 0 {
 			accel := math.Min(cpu/gpu, 32) / 32
 			if onGPU {

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"readys/internal/core"
+	"readys/internal/stream"
 )
 
 // Parallel rollout collection.
@@ -58,12 +59,17 @@ type rolloutResult struct {
 // returns their results indexed by position. With workers > 1 the episodes
 // run concurrently on a bounded worker pool; results are identical to the
 // sequential path by construction (per-episode RNG streams, no shared mutable
-// state beyond the read-only agent parameters).
-func collectRollouts(agent *core.Agent, problem core.Problem, baseline float64, seed int64, start, n, workers int) []rolloutResult {
+// state beyond the read-only agent parameters). A non-nil arrivals process
+// switches every episode to the stream rollout (see stream.go).
+func collectRollouts(agent *core.Agent, problem core.Problem, arrivals *stream.PoissonProcess, baseline float64, seed int64, start, n, workers int) []rolloutResult {
 	results := make([]rolloutResult, n)
 	runOne := func(k int) {
 		ep := start + k
 		rng := rand.New(rand.NewSource(episodeSeed(seed, ep)))
+		if arrivals != nil {
+			results[k] = runStreamEpisode(agent, problem, *arrivals, ep, rng)
+			return
+		}
 		pol := core.NewTrainingPolicy(agent, rng)
 		res, err := problem.Simulate(pol, rng)
 		r := rolloutResult{ep: ep, steps: pol.Steps, err: err}

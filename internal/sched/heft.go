@@ -75,6 +75,40 @@ func UpwardRanksComm(g *taskgraph.Graph, plat platform.Platform, tt platform.Tim
 	return rank
 }
 
+// UpwardRanksFor generalises UpwardRanks to per-task timing tables — the
+// multi-family (streaming) case where each job's tasks carry the table of
+// their own DAG family. timingOf is typically (*sim.State).TaskTiming. When
+// every task resolves to the same table the arithmetic is identical to
+// UpwardRanks, so single-DAG ranks are bit-equal.
+func UpwardRanksFor(g *taskgraph.Graph, plat platform.Platform, timingOf func(task int) platform.Timing) []float64 {
+	n := g.NumTasks()
+	w := make([]float64, n)
+	for i, t := range g.Tasks {
+		var s float64
+		tt := timingOf(i)
+		for _, r := range plat.Resources {
+			s += tt.ExpectedDuration(t.Kernel, r.Type)
+		}
+		w[i] = s / float64(plat.Size())
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		panic(err)
+	}
+	rank := make([]float64, n)
+	for idx := n - 1; idx >= 0; idx-- {
+		i := order[idx]
+		var best float64
+		for _, j := range g.Succ[i] {
+			if rank[j] > best {
+				best = rank[j]
+			}
+		}
+		rank[i] = w[i] + best
+	}
+	return rank
+}
+
 // slot is an occupied interval on a resource timeline.
 type slot struct{ start, end float64 }
 
@@ -228,7 +262,7 @@ func (p *StaticPolicy) Decide(s *sim.State, r int) int {
 	if s.MustAct {
 		best, bestRank := sim.NoTask, math.Inf(-1)
 		for _, t := range s.Ready {
-			if p.Schedule.Rank[t] > bestRank {
+			if p.Schedule.Rank[t] > bestRank || (p.Schedule.Rank[t] == bestRank && best != sim.NoTask && jobTaskLess(s, t, best)) {
 				best, bestRank = t, p.Schedule.Rank[t]
 			}
 		}

@@ -29,16 +29,17 @@ func (MCTPolicy) Decide(s *sim.State, r int) int {
 	bestECT := math.Inf(1)
 	for _, t := range s.Ready {
 		res, ect := mctChoice(s, t)
-		if res == r && ect < bestECT {
+		if res == r && (ect < bestECT || (ect == bestECT && bestTask != sim.NoTask && jobTaskLess(s, t, bestTask))) {
 			bestTask, bestECT = t, ect
 		}
 	}
 	if bestTask == sim.NoTask && s.MustAct {
 		// Forced round: every ready task prefers another resource, but time
 		// cannot advance unless someone starts. Take the task completing
-		// soonest on r instead of deadlocking.
+		// soonest on r instead of deadlocking; exact ECT ties break by
+		// (job, task) like everywhere else.
 		for _, t := range s.Ready {
-			if ect := ectOn(s, t, r); ect < bestECT {
+			if ect := ectOn(s, t, r); ect < bestECT || (ect == bestECT && bestTask != sim.NoTask && jobTaskLess(s, t, bestTask)) {
 				bestTask, bestECT = t, ect
 			}
 		}
@@ -55,7 +56,7 @@ func ectOn(s *sim.State, t, r int) float64 {
 	if dr := s.DataReadyTime(t, r); dr > start {
 		start = dr
 	}
-	return start + s.EstDuration(s.Graph.Tasks[t].Kernel, r)
+	return start + s.EstTaskDuration(t, r)
 }
 
 // mctChoice returns the resource minimising the expected completion time of

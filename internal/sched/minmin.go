@@ -24,7 +24,7 @@ func (MinMinPolicy) Decide(s *sim.State, r int) int {
 	bestTask, bestRes, bestECT := sim.NoTask, -1, math.Inf(1)
 	for _, t := range s.Ready {
 		res, ect := mctChoice(s, t)
-		if ect < bestECT {
+		if ect < bestECT || (ect == bestECT && bestTask != sim.NoTask && jobTaskLess(s, t, bestTask)) {
 			bestTask, bestRes, bestECT = t, res, ect
 		}
 	}
@@ -51,7 +51,7 @@ func (MaxMinPolicy) Decide(s *sim.State, r int) int {
 	bestTask, bestRes, bestECT := sim.NoTask, -1, math.Inf(-1)
 	for _, t := range s.Ready {
 		res, ect := mctChoice(s, t)
-		if ect > bestECT {
+		if ect > bestECT || (ect == bestECT && bestTask != sim.NoTask && jobTaskLess(s, t, bestTask)) {
 			bestTask, bestRes, bestECT = t, res, ect
 		}
 	}

@@ -21,6 +21,7 @@ type ReplanHEFTPolicy struct {
 	next        []int
 	doneAtPlan  int
 	epochAtPlan int
+	graphAtPlan int
 }
 
 // NewReplanHEFTPolicy returns a fresh re-planning policy.
@@ -32,15 +33,17 @@ func (p *ReplanHEFTPolicy) Reset(s *sim.State) {
 	p.next = nil
 	p.doneAtPlan = -1
 	p.epochAtPlan = -1
+	p.graphAtPlan = -1
 }
 
 // Decide implements sim.Policy.
 func (p *ReplanHEFTPolicy) Decide(s *sim.State, r int) int {
-	// Re-plan whenever the world drifted: a task completed, or a fault
-	// event changed resource state (outage, recovery, death, degrade) —
-	// keying only on NumDone would keep dispatching onto dead resources
-	// and never reclaim killed work.
-	if p.plan == nil || s.NumDone != p.doneAtPlan || s.FaultEpoch != p.epochAtPlan {
+	// Re-plan whenever the world drifted: a task completed, a fault
+	// event changed resource state (outage, recovery, death, degrade), or
+	// a streaming job arrival grew the graph — keying only on NumDone
+	// would keep dispatching onto dead resources, never reclaim killed
+	// work, and never see newly arrived jobs.
+	if p.plan == nil || s.NumDone != p.doneAtPlan || s.FaultEpoch != p.epochAtPlan || s.GraphEpoch != p.graphAtPlan {
 		p.replan(s)
 	}
 	order := p.plan.Order[r]
@@ -58,10 +61,11 @@ func (p *ReplanHEFTPolicy) Decide(s *sim.State, r int) int {
 	}
 	if s.MustAct {
 		// Forced round: start the highest-rank ready task rather than
-		// deadlocking on a plan invalidated between replans.
+		// deadlocking on a plan invalidated between replans; exact rank
+		// ties break by (job, task).
 		best, bestRank := sim.NoTask, math.Inf(-1)
 		for _, t := range s.Ready {
-			if p.plan.Rank[t] > bestRank {
+			if p.plan.Rank[t] > bestRank || (p.plan.Rank[t] == bestRank && best != sim.NoTask && jobTaskLess(s, t, best)) {
 				best, bestRank = t, p.plan.Rank[t]
 			}
 		}
@@ -76,7 +80,7 @@ func (p *ReplanHEFTPolicy) Decide(s *sim.State, r int) int {
 func (p *ReplanHEFTPolicy) replan(s *sim.State) {
 	g := s.Graph
 	n := g.NumTasks()
-	rank := UpwardRanks(g, s.Platform, s.Timing)
+	rank := UpwardRanksFor(g, s.Platform, s.TaskTiming)
 
 	// Remaining tasks in decreasing rank order.
 	remaining := make([]int, 0, n)
@@ -130,7 +134,7 @@ func (p *ReplanHEFTPolicy) replan(s *sim.State) {
 			if !s.ResourceUp(r) {
 				continue
 			}
-			dur := s.EstDuration(g.Tasks[t].Kernel, r)
+			dur := s.EstTaskDuration(t, r)
 			start := earliestGap(timelines[r], readyAt, dur)
 			if end := start + dur; end < bestEnd {
 				bestRes, bestStart, bestEnd = r, start, end
@@ -153,6 +157,7 @@ func (p *ReplanHEFTPolicy) replan(s *sim.State) {
 	p.next = make([]int, s.Platform.Size())
 	p.doneAtPlan = s.NumDone
 	p.epochAtPlan = s.FaultEpoch
+	p.graphAtPlan = s.GraphEpoch
 }
 
 func sortByRankDesc(xs []int, rank []float64) {

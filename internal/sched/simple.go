@@ -8,6 +8,21 @@ import (
 	"readys/internal/taskgraph"
 )
 
+// jobTaskLess reports whether ready task a precedes ready task b in the
+// deterministic tie-break order used when a policy's scheduling key (ECT,
+// rank, ...) is exactly equal: lower job ID first, then lower task ID. In
+// single-job runs JobOf is identically zero, so the order reduces to task ID
+// — the engine's historical first-seen order over the sorted ready set —
+// which keeps single-DAG schedules (and the golden Cholesky trace)
+// byte-identical. Under multi-job ready sets it pins the winner explicitly
+// instead of leaning on iteration order.
+func jobTaskLess(s *sim.State, a, b int) bool {
+	if ja, jb := s.JobOf(a), s.JobOf(b); ja != jb {
+		return ja < jb
+	}
+	return a < b
+}
+
 // FIFOPolicy always starts the lowest-ID ready task on whichever resource
 // asks. Task IDs follow generation order, which for the factorisation DAGs is
 // a sensible elimination order, so FIFO is a meaningful weak baseline.
@@ -54,7 +69,7 @@ func (*RankPolicy) Reset(*sim.State) {}
 func (p *RankPolicy) Decide(s *sim.State, _ int) int {
 	best := s.Ready[0]
 	for _, t := range s.Ready[1:] {
-		if p.rank[t] > p.rank[best] {
+		if p.rank[t] > p.rank[best] || (p.rank[t] == p.rank[best] && jobTaskLess(s, t, best)) {
 			best = t
 		}
 	}

@@ -95,6 +95,21 @@ type State struct {
 	Attempts   []int
 	FaultEpoch int
 
+	// Multi-job (streaming) state. Single-DAG runs leave all three nil/zero
+	// and behave exactly as before.
+	//
+	// Timings, when non-empty, holds the distinct timing tables of the jobs
+	// sharing the cluster, and TimingIdx[t] selects the table governing task
+	// t (mixed DAG families have different per-kernel durations, so one
+	// global table cannot describe a multi-family stream). JobID[t], when
+	// non-nil, is the arrival-ordered job a task belongs to. GraphEpoch
+	// increments whenever tasks are appended to the graph mid-run (a job
+	// arrival); adaptive policies key replans on it like on FaultEpoch.
+	Timings    []platform.Timing
+	TimingIdx  []int
+	JobID      []int
+	GraphEpoch int
+
 	// downUntil[r] is the engine-internal recovery time of an ongoing
 	// outage (not exposed: policies must not see the future). deathAt[r]
 	// records when r died, for tracing.
@@ -105,6 +120,10 @@ type State struct {
 	// events per resource lane (and comm transfers), plus outage / death /
 	// kill fault spans. Invisible to policies.
 	tracer *obs.Tracer
+
+	// onDone, when set (Cluster runs), is invoked after each task completes
+	// — the hook streaming job bookkeeping hangs off. Invisible to policies.
+	onDone func(task int, at float64)
 }
 
 // NumRunning returns the number of tasks currently executing.
@@ -165,9 +184,49 @@ func (s *State) TimeUntilFree(r int) float64 {
 
 // EstDuration returns the expected duration of kernel k on resource r under
 // r's current speed factor — the best estimate a scheduler can make for a
-// possibly degraded resource.
+// possibly degraded resource. In multi-job streams the kernel index alone is
+// ambiguous (families have distinct tables); use EstTaskDuration there.
 func (s *State) EstDuration(k taskgraph.Kernel, r int) float64 {
 	return s.Timing.ExpectedDuration(k, s.Platform.Resources[r].Type) * s.speed(r)
+}
+
+// TaskTiming returns the timing table governing task t: the per-job table in
+// a multi-job stream, the problem-wide table otherwise.
+func (s *State) TaskTiming(t int) platform.Timing {
+	if len(s.Timings) > 0 {
+		return s.Timings[s.TimingIdx[t]]
+	}
+	return s.Timing
+}
+
+// EstTaskDuration returns the expected duration of task t on resource r under
+// r's current speed factor, resolved through t's own timing table.
+func (s *State) EstTaskDuration(t, r int) float64 {
+	return s.TaskTiming(t).ExpectedDuration(s.Graph.Tasks[t].Kernel, s.Platform.Resources[r].Type) * s.speed(r)
+}
+
+// JobOf returns the job a task belongs to (0 for single-DAG runs).
+func (s *State) JobOf(t int) int {
+	if s.JobID == nil {
+		return 0
+	}
+	return s.JobID[t]
+}
+
+// MaxExpected returns the largest expected duration over every timing table
+// attached to the state — the normaliser for time-valued features. Equals
+// Timing.MaxExpected() in single-DAG runs.
+func (s *State) MaxExpected() float64 {
+	if len(s.Timings) == 0 {
+		return s.Timing.MaxExpected()
+	}
+	var m float64
+	for _, tt := range s.Timings {
+		if v := tt.MaxExpected(); v > m {
+			m = v
+		}
+	}
+	return m
 }
 
 // EstTimeUntilFree returns the wait before resource r becomes available as a
@@ -182,7 +241,7 @@ func (s *State) EstTimeUntilFree(r int) float64 {
 	if t == NoTask {
 		return 0
 	}
-	e := s.EstDuration(s.Graph.Tasks[t].Kernel, r)
+	e := s.EstTaskDuration(t, r)
 	d := s.StartTime[t] + e - s.Now
 	if d < 0 {
 		return 0
@@ -571,7 +630,7 @@ func startTask(s *State, task, r int, rng *rand.Rand) error {
 	if !s.IsFree(r) {
 		return fmt.Errorf("sim: resource %d is busy or unavailable", r)
 	}
-	dur := s.Timing.SampleDuration(rng, s.Graph.Tasks[task].Kernel, s.Platform.Resources[r].Type, s.Sigma) * s.speed(r)
+	dur := s.TaskTiming(task).SampleDuration(rng, s.Graph.Tasks[task].Kernel, s.Platform.Resources[r].Type, s.Sigma) * s.speed(r)
 	// Communication extension: the computation stalls until every input tile
 	// produced on another resource has arrived (transfers overlap but data
 	// cannot be consumed before it lands).
@@ -622,6 +681,9 @@ func finishTask(s *State, t int) {
 		if s.PredLeft[succ] == 0 {
 			s.Ready = insertSorted(s.Ready, succ)
 		}
+	}
+	if s.onDone != nil {
+		s.onDone(t, s.Now)
 	}
 }
 

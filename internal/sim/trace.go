@@ -93,6 +93,16 @@ func traceKill(s *State, task, r int, at float64) {
 	})
 }
 
+// traceArrival records a job-arrival instant on the first resource lane
+// (arrivals are platform-wide events; lane 0 keeps them on one row).
+func traceArrival(s *State, job, base, tasks int) {
+	s.tracer.Instant(fmt.Sprintf("arrive j%d", job), "arrival", TracePID, 0, s.Now*1000, map[string]any{
+		"job":   job,
+		"base":  base,
+		"tasks": tasks,
+	})
+}
+
 // finishTraceFaults emits, for each permanently dead resource, a "dead" X
 // slice from its death to the end of the run so the loss is visible across
 // the whole Gantt tail.

@@ -94,6 +94,18 @@ type CheckOptions struct {
 	// Faults is the fault plan the run replayed (nil = none): slices are
 	// checked against outage windows, death times, and degrade factors.
 	Faults *FaultPlan
+	// TimingOf, if non-nil, overrides Timing per task — required to check
+	// union schedules of multi-family streams, where each job's tasks carry
+	// the timing table of its own DAG family (State.TaskTiming).
+	TimingOf func(task int) platform.Timing
+}
+
+// timingOf resolves the timing table governing one task.
+func (o CheckOptions) timingOf(task int) platform.Timing {
+	if o.TimingOf != nil {
+		return o.TimingOf(task)
+	}
+	return o.Timing
 }
 
 // Relative and absolute tolerances of the strict duration checks. Durations
@@ -192,7 +204,7 @@ func ValidateResultStrict(g *taskgraph.Graph, res Result, opt CheckOptions) erro
 			stall = 0
 		}
 		work := (p.End - p.Start) - stall
-		e := opt.Timing.ExpectedDuration(g.Tasks[t].Kernel, opt.Platform.Resources[p.Resource].Type)
+		e := opt.timingOf(t).ExpectedDuration(g.Tasks[t].Kernel, opt.Platform.Resources[p.Resource].Type)
 		tol := strictRelTol*e + strictAbsTol
 		if opt.Sigma == 0 && !degraded[p.Resource] {
 			if math.Abs(work-e) > tol {

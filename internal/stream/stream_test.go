@@ -1,0 +1,204 @@
+package stream
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"readys/internal/core"
+	"readys/internal/platform"
+	"readys/internal/sched"
+	"readys/internal/sim"
+	"readys/internal/taskgraph"
+)
+
+var chaosKinds = []taskgraph.Kind{taskgraph.Cholesky, taskgraph.LU, taskgraph.QR}
+
+func testArrivals(t *testing.T, seed int64, jobs int, rate float64) []Arrival {
+	t.Helper()
+	arr, err := PoissonProcess{
+		Rate: rate, Jobs: jobs, Kinds: chaosKinds, Sizes: []int{2, 3},
+	}.Generate(rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return arr
+}
+
+func TestPoissonGenerateDeterministic(t *testing.T) {
+	a := testArrivals(t, 3, 20, 2.0)
+	b := testArrivals(t, 3, 20, 2.0)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different arrival streams")
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].At < a[i-1].At {
+			t.Fatalf("arrivals out of order at %d", i)
+		}
+	}
+}
+
+func TestArrivalsJSONLRoundTrip(t *testing.T) {
+	want := testArrivals(t, 9, 12, 1.5)
+	var buf bytes.Buffer
+	if err := WriteArrivals(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadArrivals(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip drifted:\ngot  %+v\nwant %+v", got, want)
+	}
+	if _, err := ReadArrivals(bytes.NewReader([]byte(`{"at_ms": -1, "kind": "lu", "size": 2}`))); err == nil {
+		t.Fatal("negative arrival time accepted")
+	}
+	if _, err := ReadArrivals(bytes.NewReader([]byte(`{"at_ms": 1, "kind": "nope", "size": 2}`))); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}
+
+// runStream executes one stream run with a fresh policy instance.
+func runStream(t *testing.T, mkPol func() sim.Policy, arr []Arrival, seed int64, faults *sim.FaultPlan) *Result {
+	t.Helper()
+	res, err := Run(mkPol(), Config{
+		Platform: platform.New(2, 2),
+		Arrivals: arr,
+		Sigma:    0.1,
+		Faults:   faults,
+		Rng:      rand.New(rand.NewSource(seed)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestStreamRunCompletesAndValidates(t *testing.T) {
+	arr := testArrivals(t, 1, 8, 3.0)
+	res := runStream(t, func() sim.Policy { return sched.MCTPolicy{} }, arr, 42, nil)
+	if len(res.Jobs) != len(arr) {
+		t.Fatalf("got %d job results for %d arrivals", len(res.Jobs), len(arr))
+	}
+	for _, j := range res.Jobs {
+		if j.DoneAt < j.ArriveAt || j.Response < 0 {
+			t.Fatalf("job %d has impossible timing: %+v", j.Job, j)
+		}
+		if j.IsolatedMakespan <= 0 || j.Slowdown <= 0 {
+			t.Fatalf("job %d missing isolated baseline: %+v", j.Job, j)
+		}
+	}
+	if res.Utilization <= 0 || res.Utilization > 1 {
+		t.Fatalf("utilization %v outside (0, 1]", res.Utilization)
+	}
+	if res.MeanResponse <= 0 || res.P99Response < res.MeanResponse/float64(len(arr)) {
+		t.Fatalf("response stats implausible: mean %v p99 %v", res.MeanResponse, res.P99Response)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatalf("union schedule invalid: %v", err)
+	}
+}
+
+// TestStreamFaultsMidStream pins the PR 5 integration: a plan dense enough to
+// kill work mid-stream still yields a complete, strictly valid union
+// schedule, and the re-executions show up as kills.
+func TestStreamFaultsMidStream(t *testing.T) {
+	arr := testArrivals(t, 5, 8, 4.0)
+	horizon := arr[len(arr)-1].At + 4000
+	plan := sim.GeneratePlan(99, 4, sim.SpecForRate(2.0, horizon))
+	res := runStream(t, func() sim.Policy { return sched.NewReplanHEFTPolicy() }, arr, 7, plan)
+	if err := res.Validate(); err != nil {
+		t.Fatalf("faulted union schedule invalid: %v", err)
+	}
+	for _, j := range res.Jobs {
+		if j.DoneAt < j.ArriveAt {
+			t.Fatalf("job %d unfinished under faults: %+v", j.Job, j)
+		}
+	}
+}
+
+// fingerprint reduces a Result to a comparable value covering everything
+// downstream consumers read.
+func fingerprint(r *Result) string {
+	return fmt.Sprintf("%+v|%+v|%v|%v|%v|%v|%v|%d|%d|%d",
+		r.Jobs, r.Sim.Trace, r.Makespan, r.MeanResponse, r.P99Response, r.MeanSlowdown,
+		r.MeanReadyDepth, r.Kills, r.Decisions, r.IdleDecisions)
+}
+
+// TestStreamReplayChaos is the bit-identical replay sweep: 25 random
+// mixed-family Poisson streams × faults on/off × every policy family, each
+// run twice from the same seed. Any divergence — map iteration, shared
+// state, hidden randomness — fails the fingerprint comparison.
+func TestStreamReplayChaos(t *testing.T) {
+	agent := core.NewAgent(core.Config{Window: 1, Layers: 1, Hidden: 8, Seed: 4})
+	faultAgent := core.NewAgent(core.Config{Window: 1, Layers: 1, Hidden: 8, Seed: 4, FaultFeatures: true})
+	policies := map[string]func() sim.Policy{
+		"mct":        func() sim.Policy { return sched.MCTPolicy{} },
+		"replanheft": func() sim.Policy { return sched.NewReplanHEFTPolicy() },
+		"heftperjob": func() sim.Policy { return NewHEFTPerJobPolicy() },
+		"random":     func() sim.Policy { return sched.RandomPolicy{Rng: rand.New(rand.NewSource(123))} },
+		"readys":     func() sim.Policy { return core.NewPolicy(agent) },
+		"readys-ff":  func() sim.Policy { return core.NewPolicy(faultAgent) },
+	}
+	for i := 0; i < 25; i++ {
+		seed := int64(1000 + i)
+		arr := testArrivals(t, seed, 4, 2.0+float64(i%3))
+		horizon := arr[len(arr)-1].At + 3000
+		for fi, faults := range []*sim.FaultPlan{nil, sim.GeneratePlan(seed, 4, sim.SpecForRate(1.0, horizon))} {
+			for name, mk := range policies {
+				a := runStream(t, mk, arr, seed, faults)
+				b := runStream(t, mk, arr, seed, faults)
+				if fa, fb := fingerprint(a), fingerprint(b); fa != fb {
+					t.Fatalf("stream %d faults=%d policy %s not replay-identical:\n%s\nvs\n%s", i, fi, name, fa, fb)
+				}
+				if err := a.Validate(); err != nil {
+					t.Fatalf("stream %d faults=%d policy %s invalid: %v", i, fi, name, err)
+				}
+			}
+		}
+	}
+}
+
+// TestHEFTPerJobSingleJobReasonable sanity-checks the baseline: on a lone
+// Cholesky job it must finish everything and not be wildly worse than MCT.
+func TestHEFTPerJobSingleJobReasonable(t *testing.T) {
+	arr := []Arrival{{At: 0, Kind: taskgraph.Cholesky, Size: 4}}
+	hpj := runStream(t, func() sim.Policy { return NewHEFTPerJobPolicy() }, arr, 3, nil)
+	mct := runStream(t, func() sim.Policy { return sched.MCTPolicy{} }, arr, 3, nil)
+	if hpj.Makespan <= 0 || hpj.Makespan > 3*mct.Makespan {
+		t.Fatalf("HEFT-per-job makespan %v implausible vs MCT %v", hpj.Makespan, mct.Makespan)
+	}
+	if err := hpj.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamJobMetricsAgainstTrace cross-checks the job bookkeeping against
+// the union trace: a job's DoneAt must equal the max end time over its tasks
+// and its arrival must precede every one of its task starts.
+func TestStreamJobMetricsAgainstTrace(t *testing.T) {
+	arr := testArrivals(t, 11, 6, 2.0)
+	res := runStream(t, func() sim.Policy { return sched.MCTPolicy{} }, arr, 13, nil)
+	ends := make(map[int]float64)
+	base := 0
+	for _, j := range res.Jobs {
+		for ti := 0; ti < j.Tasks; ti++ {
+			p := res.Sim.Trace[base+ti]
+			if p.Start < j.ArriveAt-1e-9 {
+				t.Fatalf("job %d task %d started at %v before arrival %v", j.Job, p.Task, p.Start, j.ArriveAt)
+			}
+			if p.End > ends[j.Job] {
+				ends[j.Job] = p.End
+			}
+		}
+		base += j.Tasks
+	}
+	for _, j := range res.Jobs {
+		if ends[j.Job] != j.DoneAt {
+			t.Fatalf("job %d DoneAt %v != max task end %v", j.Job, j.DoneAt, ends[j.Job])
+		}
+	}
+}
