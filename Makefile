@@ -1,11 +1,14 @@
 # Pre-merge checks for the READYS reproduction.
 #
 #   make check       — everything a PR must pass: build, vet, tests, race
-#                      tests, observability smoke test, bench smoke test,
+#                      tests, observability smoke test, perf-regression gate,
 #                      fleet smoke test, stream smoke test
 #   make race        — just the race-detector runs (serving, agent core, RL,
 #                      fleet, fault-injecting simulator, streaming arrivals)
-#   make obs-smoke   — end-to-end telemetry/trace pipeline check
+#   make obs-smoke   — end-to-end telemetry/trace pipeline check: telemetry
+#                      JSONL, sim trace, flight recorder, and a dispatcher +
+#                      worker pair whose merged cross-process trace must
+#                      link-validate
 #   make chaos-smoke — single-seed fault-injection run through readys-sim
 #                      (plan generation, kill/re-execution, strict validator)
 #   make stream-smoke— tiny online-scheduling run through readys-stream
@@ -14,17 +17,26 @@
 #   make fleet-smoke — dispatcher + worker end-to-end check (train job,
 #                      artifact verification, train → serve publish)
 #   make bench       — hot-path benchmark snapshot (writes BENCH_<rev>.json)
-#   make bench-smoke — fast readys-bench sanity run (part of make check)
+#   make bench-smoke — fast readys-bench sanity run
+#   make bench-compare — perf-regression gate: quick bench diffed against the
+#                      committed $(BENCH_BASE); fails on a >$(BENCH_TOL)
+#                      regression of any key metric (part of make check)
 #   make bench-serve — serving-throughput benchmark
 #   make serve       — run the scheduling daemon against ./models
 #   make fleet       — run the fleet dispatcher, publishing into ./models
 
 GO ?= go
 OBS_TMP ?= /tmp/readys-obs-smoke
+# Perf gate: the committed trajectory snapshot to diff against and the
+# fractional regression tolerance (0.20 = a key metric may be up to 20% worse
+# before the gate trips; raise via `make check BENCH_TOL=0.35` on known-slow
+# machines).
+BENCH_BASE ?= BENCH_b7783c0.json
+BENCH_TOL ?= 0.20
 
-.PHONY: check build vet test race obs-smoke chaos-smoke stream-smoke fleet-smoke bench bench-smoke bench-serve serve fleet
+.PHONY: check build vet test race obs-smoke chaos-smoke stream-smoke fleet-smoke bench bench-smoke bench-compare bench-serve serve fleet
 
-check: build vet test race obs-smoke chaos-smoke stream-smoke fleet-smoke bench-smoke
+check: build vet test race obs-smoke chaos-smoke stream-smoke fleet-smoke bench-compare
 
 build:
 	$(GO) build ./...
@@ -43,8 +55,13 @@ test:
 race:
 	$(GO) test -race ./internal/serve/... ./internal/core/... ./internal/rl/... ./internal/fleet/... ./internal/sim/... ./internal/stream/...
 
-# End-to-end observability check: train a tiny agent with -telemetry, simulate
-# one DAG with -trace, then assert both artifacts are valid and non-empty.
+# End-to-end observability check. Phase 1 artifacts: train a tiny agent with
+# -telemetry, simulate one DAG with -trace, assert both are valid and
+# non-empty. Phase 2 artifacts: a streaming run's flight recorder summarized
+# by readys-obs-check, and a real dispatcher + worker pair (fleet smoke)
+# whose two per-process span exports are merged — both by the smoke itself
+# and again through readys-obs-check -merge — and must pass cross-process
+# parent-link validation (-links).
 obs-smoke:
 	rm -rf $(OBS_TMP) && mkdir -p $(OBS_TMP)
 	$(GO) run ./cmd/readys-train -kind cholesky -T 2 -episodes 3 -quiet \
@@ -53,6 +70,15 @@ obs-smoke:
 		-trace $(OBS_TMP)/trace.json > /dev/null
 	$(GO) run ./cmd/readys-obs-check -jsonl $(OBS_TMP)/train.jsonl \
 		-trace $(OBS_TMP)/trace.json
+	$(GO) run ./cmd/readys-stream -rate 6 -jobs 6 -sigma 0.1 \
+		-policy mct -faults -fault-rate 1 -seed 7 -quiet \
+		-flight $(OBS_TMP)/flight.jsonl -metrics $(OBS_TMP)/metrics.prom > /dev/null
+	$(GO) run ./cmd/readys-obs-check -flight $(OBS_TMP)/flight.jsonl
+	$(GO) run ./cmd/readys-obs-check -flight $(OBS_TMP)/flight.jsonl -flight-kind decision
+	$(GO) run ./cmd/readys-fleet -smoke -trace-out $(OBS_TMP)/fleet
+	$(GO) run ./cmd/readys-obs-check -merge $(OBS_TMP)/fleet/remerged.json \
+		$(OBS_TMP)/fleet/dispatcher.json $(OBS_TMP)/fleet/worker.json
+	$(GO) run ./cmd/readys-obs-check -trace $(OBS_TMP)/fleet/remerged.json -links
 	rm -rf $(OBS_TMP)
 
 # Single-seed chaos check: a tiny DAG scheduled through readys-sim with fault
@@ -90,6 +116,13 @@ bench:
 bench-smoke:
 	$(GO) run ./cmd/readys-bench -quick -out /tmp/readys-bench-smoke.json
 	rm -f /tmp/readys-bench-smoke.json
+
+# Perf-regression gate (subsumes bench-smoke in make check): the quick bench
+# diffed row-by-row against the committed snapshot. Prints the per-metric
+# delta table and exits non-zero when spmm ns/op, ns_per_decision, train
+# eps/sec or stream jobs/sec regressed more than BENCH_TOL.
+bench-compare:
+	$(GO) run ./cmd/readys-bench -quick -compare $(BENCH_BASE) -tol $(BENCH_TOL)
 
 bench-serve:
 	$(GO) test -bench BenchmarkServeScheduleThroughput -benchtime 2s -run '^$$' ./internal/serve/

@@ -12,11 +12,21 @@
 //   - stream: online multi-tenant scheduling throughput — whole Poisson job
 //     streams through stream.Run, as wall-clock jobs/sec per policy.
 //
+// With -compare BENCH_old.json the run becomes a perf-regression gate: the
+// current numbers are diffed against the committed snapshot on config-matched
+// rows (spmm by n, decide/train by kind and T, stream by policy and jobs), a
+// per-metric delta table is printed, and the process exits non-zero when any
+// key metric — spmm ns/op, ns_per_decision, train eps/sec, or
+// stream_jobs_per_sec — regressed beyond the tolerance (-tol, or the
+// BENCH_TOL environment variable, default 20%). Rows the baseline lacks are
+// reported as skipped, so an old snapshot still gates what it covers.
+//
 // Usage:
 //
 //	readys-bench                  # full run, writes BENCH_<rev>.json
 //	readys-bench -quick           # smoke run (make bench-smoke)
 //	readys-bench -T 8 -out bench.json
+//	readys-bench -quick -compare BENCH_b7783c0.json   # make bench-compare
 package main
 
 import (
@@ -28,6 +38,7 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -101,9 +112,11 @@ type report struct {
 
 func main() {
 	var (
-		out   = flag.String("out", "", "output path (default BENCH_<rev>.json)")
-		tiles = flag.Int("T", 8, "Cholesky tile count for the training benchmark")
-		quick = flag.Bool("quick", false, "smoke mode: tiny sizes, a few episodes (CI)")
+		out     = flag.String("out", "", "output path (default BENCH_<rev>.json; with -compare: only written when set)")
+		tiles   = flag.Int("T", 8, "Cholesky tile count for the decide and training benchmarks")
+		quick   = flag.Bool("quick", false, "smoke mode: tiny sizes, a few episodes (CI)")
+		compare = flag.String("compare", "", "baseline BENCH_*.json to gate against; exit 1 on regression")
+		tol     = flag.Float64("tol", 0, "regression tolerance as a fraction (default $BENCH_TOL, else 0.20)")
 	)
 	flag.Parse()
 
@@ -133,10 +146,9 @@ func main() {
 			rep.SpMM[len(rep.SpMM)-1].Speedup)
 	}
 
+	// decide follows -T even in quick mode so a quick gate run produces a row
+	// matching the committed full-run baseline (which benches decide at T=8).
 	decT := *tiles
-	if *quick {
-		decT = 4
-	}
 	rep.Decide = append(rep.Decide, benchDecide(decT))
 	fmt.Printf("decide T=%d: %.0f decisions/sec, %d allocs/decision\n",
 		decT, rep.Decide[0].DecisionsPerSec, rep.Decide[0].AllocsPerOp)
@@ -165,14 +177,56 @@ func main() {
 			sr.Policy, sr.JobsPerSec, sr.TasksPerSec, sr.Jobs, sr.Tasks)
 	}
 
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		log.Fatal(err)
+	// In gate mode the snapshot is only written when -out names a path:
+	// the point of -compare is judging against the committed trajectory,
+	// not growing a new BENCH_<rev>.json per CI run.
+	if *compare == "" || *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
 	}
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
-		log.Fatal(err)
+
+	if *compare != "" {
+		base, err := os.ReadFile(*compare)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var old report
+		if err := json.Unmarshal(base, &old); err != nil {
+			log.Fatalf("%s: %v", *compare, err)
+		}
+		t := resolveTol(*tol, os.Getenv("BENCH_TOL"))
+		rows, skipped, regressed := compareReports(old, rep, t)
+		if len(rows) == 0 {
+			log.Fatalf("%s: no rows match the current run's configs", *compare)
+		}
+		fmt.Println()
+		printComparison(os.Stdout, *compare, rows, skipped, t)
+		if regressed {
+			log.Fatalf("perf regression: worst delta %+.1f%% exceeds %.0f%% tolerance", 100*worstDelta(rows), 100*t)
+		}
+		fmt.Printf("perf gate passed: worst delta %+.1f%% within %.0f%% tolerance\n", 100*worstDelta(rows), 100*t)
 	}
-	fmt.Printf("wrote %s\n", path)
+}
+
+// resolveTol picks the regression tolerance: the -tol flag when set, else the
+// BENCH_TOL environment variable, else 0.20.
+func resolveTol(flagTol float64, env string) float64 {
+	if flagTol > 0 {
+		return flagTol
+	}
+	if env != "" {
+		if v, err := strconv.ParseFloat(env, 64); err == nil && v > 0 {
+			return v
+		}
+		log.Fatalf("bad BENCH_TOL %q: want a positive fraction like 0.20", env)
+	}
+	return 0.20
 }
 
 // gitRev returns the short commit hash, or "dev" outside a git checkout.

@@ -54,12 +54,13 @@ func main() {
 		dispatcher = flag.String("dispatcher", "http://127.0.0.1:9090", "dispatcher URL for -grid")
 		smoke      = flag.Bool("smoke", false, "run an in-process dispatcher + worker end-to-end check and exit")
 		traceEvs   = flag.Int("trace-events", 0, "request-span ring capacity for /debug/trace (0 = default)")
+		traceOut   = flag.String("trace-out", "", "with -smoke: write dispatcher.json, worker.json and the stitched merged-trace.json into this directory")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "readys-fleet: ", log.LstdFlags)
 
 	if *smoke {
-		if err := runSmoke(logger); err != nil {
+		if err := runSmoke(logger, *traceOut); err != nil {
 			logger.Fatal(err)
 		}
 		return

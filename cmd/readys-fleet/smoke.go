@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"log"
@@ -21,7 +22,13 @@ import (
 // one worker, one tiny train job end-to-end, and the artifact verified —
 // digest, loadable checkpoint, decodable history. Everything lives in a
 // temp directory and a few seconds.
-func runSmoke(logger *log.Logger) error {
+//
+// When traceOut is non-empty, the dispatcher's and the worker's span exports
+// are written there and stitched into merged-trace.json via obs.MergeTraces,
+// then validated — structure and cross-process parent links — exactly as
+// `readys-obs-check -trace merged-trace.json -links` would. This is the
+// `make obs-smoke` distributed-tracing leg.
+func runSmoke(logger *log.Logger, traceOut string) error {
 	tmp, err := os.MkdirTemp("", "readys-fleet-smoke-*")
 	if err != nil {
 		return err
@@ -131,7 +138,55 @@ func runSmoke(logger *log.Logger) error {
 	if _, err := os.Stat(published); err != nil {
 		return fmt.Errorf("checkpoint was not published for serving: %w", err)
 	}
+
+	if traceOut != "" {
+		if err := exportSmokeTraces(logger, d, worker, traceOut); err != nil {
+			return err
+		}
+	}
 	logger.Printf("fleet smoke ok: %s done, checkpoint %s… loads, %d history lines, published",
 		finished.ID, digest[:12], len(lines))
+	return nil
+}
+
+// exportSmokeTraces writes both processes' span exports plus their stitched
+// merge, and validates the merge the way readys-obs-check -links does: lanes
+// balanced and every parent span resolving, with at least one link crossing
+// the dispatcher/worker boundary.
+func exportSmokeTraces(logger *log.Logger, d *fleet.Dispatcher, worker *fleet.Worker, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var db, wb bytes.Buffer
+	if err := d.WriteTrace(&db); err != nil {
+		return err
+	}
+	if err := worker.WriteTrace(&wb); err != nil {
+		return err
+	}
+	dispPath := filepath.Join(dir, "dispatcher.json")
+	workPath := filepath.Join(dir, "worker.json")
+	if err := os.WriteFile(dispPath, db.Bytes(), 0o644); err != nil {
+		return err
+	}
+	if err := os.WriteFile(workPath, wb.Bytes(), 0o644); err != nil {
+		return err
+	}
+	merged, err := obs.MergeTraces(db.Bytes(), wb.Bytes())
+	if err != nil {
+		return fmt.Errorf("merging dispatcher + worker traces: %w", err)
+	}
+	if err := obs.ValidateChromeTrace(merged); err != nil {
+		return fmt.Errorf("merged trace invalid: %w", err)
+	}
+	if err := obs.ValidateTraceLinks(merged); err != nil {
+		return fmt.Errorf("merged trace links: %w", err)
+	}
+	mergedPath := filepath.Join(dir, "merged-trace.json")
+	if err := os.WriteFile(mergedPath, merged, 0o644); err != nil {
+		return err
+	}
+	logger.Printf("wrote %s + %s, merged and link-validated %s (%d bytes)",
+		dispPath, workPath, mergedPath, len(merged))
 	return nil
 }

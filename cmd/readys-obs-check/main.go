@@ -9,9 +9,20 @@
 // and "kill" instants — which are counted in the summary and validate like
 // any other span.
 //
+// Obs phase 2 adds three more surfaces. -merge joins per-process trace
+// exports (dispatcher + worker, client + serve) into one document whose pid
+// lanes are disjoint and whose spans stitch by trace ID; -links additionally
+// checks that every parent_span_id resolves within its trace and that at
+// least one link crosses a process boundary in multi-process traces. -flight
+// summarizes (or, with -flight-kind/-flight-from/-flight-to, queries) a
+// cluster flight-recorder JSONL export from readys-stream -flight.
+//
 // Usage:
 //
 //	readys-obs-check -jsonl train.jsonl -trace trace.json
+//	readys-obs-check -merge merged.json dispatcher.json worker.json
+//	readys-obs-check -trace merged.json -links
+//	readys-obs-check -flight stream-flight.jsonl [-flight-kind kill] [-flight-from 0 -flight-to 5000]
 package main
 
 import (
@@ -26,12 +37,44 @@ import (
 
 func main() {
 	var (
-		jsonlPath = flag.String("jsonl", "", "JSONL telemetry file to validate")
-		tracePath = flag.String("trace", "", "Chrome trace-event JSON file to validate")
+		jsonlPath  = flag.String("jsonl", "", "JSONL telemetry file to validate")
+		tracePath  = flag.String("trace", "", "Chrome trace-event JSON file to validate")
+		links      = flag.Bool("links", false, "with -trace: also validate distributed-trace parent links")
+		mergeOut   = flag.String("merge", "", "merge the trace files given as positional args into this output, then validate it")
+		flightPath = flag.String("flight", "", "flight-recorder JSONL file to summarize")
+		flightKind = flag.String("flight-kind", "", "with -flight: only count events of this kind")
+		flightFrom = flag.Float64("flight-from", 0, "with -flight: ignore events before this simulated time")
+		flightTo   = flag.Float64("flight-to", 0, "with -flight: ignore events after this simulated time (0 = unbounded)")
 	)
 	flag.Parse()
-	if *jsonlPath == "" && *tracePath == "" {
-		log.Fatal("nothing to check: pass -jsonl and/or -trace")
+	if *jsonlPath == "" && *tracePath == "" && *mergeOut == "" && *flightPath == "" {
+		log.Fatal("nothing to check: pass -jsonl, -trace, -merge and/or -flight")
+	}
+
+	if *mergeOut != "" {
+		inputs := flag.Args()
+		if len(inputs) < 2 {
+			log.Fatal("-merge needs at least two input trace files as positional arguments")
+		}
+		docs := make([][]byte, len(inputs))
+		for i, p := range inputs {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			docs[i] = data
+		}
+		merged, err := obs.MergeTraces(docs...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := obs.ValidateChromeTrace(merged); err != nil {
+			log.Fatalf("merged trace invalid: %v", err)
+		}
+		if err := os.WriteFile(*mergeOut, merged, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: merged %d traces (%d bytes)\n", *mergeOut, len(inputs), len(merged))
 	}
 
 	if *jsonlPath != "" {
@@ -61,13 +104,38 @@ func main() {
 		if err := obs.ValidateChromeTrace(data); err != nil {
 			log.Fatalf("%s: %v", *tracePath, err)
 		}
+		if *links {
+			if err := obs.ValidateTraceLinks(data); err != nil {
+				log.Fatalf("%s: %v", *tracePath, err)
+			}
+		}
 		outages, kills := countFaultSpans(data)
-		if outages+kills > 0 {
+		switch {
+		case *links:
+			fmt.Printf("%s: valid Chrome trace, parent links resolve (%d bytes)\n", *tracePath, len(data))
+		case outages+kills > 0:
 			fmt.Printf("%s: valid Chrome trace (%d bytes, %d outage spans, %d kill events)\n",
 				*tracePath, len(data), outages, kills)
-		} else {
+		default:
 			fmt.Printf("%s: valid Chrome trace (%d bytes)\n", *tracePath, len(data))
 		}
+	}
+
+	if *flightPath != "" {
+		f, err := os.Open(*flightPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		events, err := obs.ReadFlightEvents(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("%s: %v", *flightPath, err)
+		}
+		if len(events) == 0 {
+			log.Fatalf("%s: no flight events", *flightPath)
+		}
+		events = obs.FilterFlight(events, *flightKind, *flightFrom, *flightTo)
+		fmt.Printf("%s: %s\n", *flightPath, obs.FormatFlightSummary(obs.SummarizeFlight(events)))
 	}
 }
 

@@ -55,6 +55,8 @@ func main() {
 		faultRate    = flag.Float64("fault-rate", 1, "fault rate for -faults (events of each kind per resource, see sim.SpecForRate)")
 		faultSeed    = flag.Int64("fault-seed", 0, "fault-plan seed for -faults (default: derived from -seed)")
 		tracePath    = flag.String("trace", "", "write the stream (arrivals, slices, faults) as Chrome trace-event JSON to this path")
+		metricsPath  = flag.String("metrics", "", "write the run's readys_stream_* metrics as Prometheus text exposition to this path ('-' for stdout)")
+		flightPath   = flag.String("flight", "", "write the cluster flight recorder (arrivals, decisions, kills, faults, ready depth) as JSONL to this path")
 		writeArr     = flag.String("write-arrivals", "", "write the (generated or replayed) arrival list as JSONL to this path")
 		quiet        = flag.Bool("quiet", false, "suppress the per-job table")
 	)
@@ -114,6 +116,12 @@ func main() {
 		tracer = obs.NewTracer(0)
 		cfg.Tracer = tracer
 	}
+	if *metricsPath != "" {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	if *flightPath != "" {
+		cfg.Recorder = obs.NewFlightRecorder(0)
+	}
 
 	res, err := stream.Run(pol, cfg)
 	if err != nil {
@@ -147,6 +155,20 @@ func main() {
 	if tracer != nil {
 		writeFile(*tracePath, func(f *os.File) error { return tracer.WriteChromeTrace(f) })
 		fmt.Println("wrote", *tracePath)
+	}
+	if cfg.Metrics != nil {
+		if *metricsPath == "-" {
+			if err := cfg.Metrics.WriteText(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			writeFile(*metricsPath, func(f *os.File) error { return cfg.Metrics.WriteText(f) })
+			fmt.Println("wrote", *metricsPath)
+		}
+	}
+	if res.Flight != nil {
+		writeFile(*flightPath, func(f *os.File) error { return res.Flight.WriteJSONL(f) })
+		fmt.Printf("wrote %s (%d flight events, %d overwritten)\n", *flightPath, res.Flight.Len(), res.Flight.Dropped())
 	}
 }
 

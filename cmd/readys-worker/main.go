@@ -33,6 +33,7 @@ func main() {
 		poll       = flag.Duration("poll", 500*time.Millisecond, "idle wait between lease attempts")
 		models     = flag.String("models", "fleet-models", "local checkpoint cache (shared with other workers when on a shared filesystem)")
 		workers    = flag.Int("workers", 0, "concurrent episode rollouts per training batch (0 = GOMAXPROCS); results are identical at any value")
+		traceOut   = flag.String("trace-out", "", "write the worker's execution spans as Chrome trace-event JSON here on shutdown (merge with the dispatcher's /debug/trace via readys-obs-check -merge)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "readys-worker: ", log.LstdFlags)
@@ -57,6 +58,20 @@ func main() {
 
 	if err := w.Run(ctx); err != nil {
 		logger.Fatal(err)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		if err := w.WriteTrace(f); err != nil {
+			f.Close()
+			logger.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("wrote %s", *traceOut)
 	}
 	logger.Print("drained, bye")
 }

@@ -7,9 +7,11 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"readys/internal/exp"
+	"readys/internal/obs"
 )
 
 // Backoff defaults: a failed idempotent request is re-sent up to
@@ -40,6 +42,26 @@ type Client struct {
 	// RetryBase is the pre-jitter delay before the first retry, doubling
 	// each attempt. Zero means defaultRetryBase.
 	RetryBase time.Duration
+
+	// trace, when set, is injected into every outbound request's headers so
+	// dispatcher-side request spans join the caller's trace. Workers set it
+	// per leased job (SetTraceContext) so heartbeats, uploads and the
+	// completion all land in the job's timeline.
+	trace atomic.Pointer[obs.SpanContext]
+}
+
+// SetTraceContext makes every subsequent request carry the given trace
+// context in its headers (X-Trace-ID / X-Parent-Span-ID).
+func (c *Client) SetTraceContext(sc obs.SpanContext) { c.trace.Store(&sc) }
+
+// ClearTraceContext stops injecting trace headers.
+func (c *Client) ClearTraceContext() { c.trace.Store(nil) }
+
+// injectTrace stamps the current trace context (if any) onto h.
+func (c *Client) injectTrace(h http.Header) {
+	if sc := c.trace.Load(); sc != nil {
+		sc.Inject(h)
+	}
 }
 
 // NewClient returns a client for the dispatcher at baseURL.
@@ -142,6 +164,7 @@ func (c *Client) doOnce(method, path string, data []byte, hasBody bool, out any,
 	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	c.injectTrace(req.Header)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return 0, err
@@ -271,6 +294,7 @@ func (c *Client) PutArtifact(data []byte) (string, error) {
 		return "", err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	c.injectTrace(req.Header)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return "", err
@@ -293,7 +317,12 @@ func (c *Client) PutArtifact(data []byte) (string, error) {
 
 // GetArtifact downloads a blob and verifies it against its content address.
 func (c *Client) GetArtifact(digest string) ([]byte, error) {
-	resp, err := c.httpClient().Get(c.BaseURL + "/v1/artifacts/" + digest)
+	req, err := http.NewRequest(http.MethodGet, c.BaseURL+"/v1/artifacts/"+digest, nil)
+	if err != nil {
+		return nil, err
+	}
+	c.injectTrace(req.Header)
+	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"sort"
@@ -107,6 +108,7 @@ type Dispatcher struct {
 	epoch  time.Time
 	tracer *obs.Tracer
 	reqSeq atomic.Int64
+	build  obs.BuildInfo
 
 	mu        sync.Mutex
 	wal       *WAL
@@ -177,6 +179,8 @@ func NewDispatcher(cfg Config) (*Dispatcher, error) {
 		sweepDone: make(chan struct{}),
 	}
 	d.tracer.NameProcess(fleetPID, "readys-fleet")
+	d.tracer.NameThread(fleetPID, jobsTID, "jobs")
+	d.build = obs.ReadBuildInfo()
 
 	for _, j := range replayed {
 		if j.State == StateRunning {
@@ -247,6 +251,12 @@ func (d *Dispatcher) Metrics() *Metrics { return d.metrics }
 // Store exposes the artifact store (the daemon and tests read it directly).
 func (d *Dispatcher) Store() *ArtifactStore { return d.store }
 
+// WriteTrace exports the dispatcher's request and job spans as Chrome
+// trace-event JSON — the same document /debug/trace serves, available without
+// an HTTP round-trip so an in-process run (fleet smoke) can merge it with the
+// worker's export via obs.MergeTraces.
+func (d *Dispatcher) WriteTrace(out io.Writer) error { return d.tracer.WriteChromeTrace(out) }
+
 func (d *Dispatcher) logf(format string, args ...any) {
 	if d.cfg.Logger != nil {
 		d.cfg.Logger.Printf(format, args...)
@@ -257,6 +267,14 @@ func (d *Dispatcher) logf(format string, args ...any) {
 // the same spec hash already exists, that job is returned with deduped=true
 // and nothing is enqueued.
 func (d *Dispatcher) Submit(spec JobSpec) (*Job, bool, error) {
+	return d.submitTraced(spec, "", "")
+}
+
+// submitTraced is Submit with the submitter's trace context: the new job
+// adopts the caller's trace (or mints one) and gets a job span whose parent
+// is the submitting request's span, so dispatcher and worker exports stitch.
+// A deduplicated submission keeps the existing job's original trace.
+func (d *Dispatcher) submitTraced(spec JobSpec, traceID, parentSpan string) (*Job, bool, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, false, err
 	}
@@ -271,11 +289,16 @@ func (d *Dispatcher) Submit(spec JobSpec) (*Job, bool, error) {
 			return j.clone(), true, nil
 		}
 	}
+	if traceID == "" {
+		traceID = obs.NewTraceID()
+	}
 	d.seq++
 	j := &Job{
 		ID:          fmt.Sprintf("j%06d", d.seq),
 		Hash:        hash,
 		Spec:        spec,
+		TraceID:     traceID,
+		SpanID:      obs.NewSpanID(),
 		State:       StatePending,
 		Seq:         d.seq,
 		SubmittedAt: now,
@@ -286,6 +309,9 @@ func (d *Dispatcher) Submit(spec JobSpec) (*Job, bool, error) {
 	}
 	d.jobs[j.ID] = j
 	d.byHash[hash] = j.ID
+	d.tracer.Instant("job_submit", "job", fleetPID, jobsTID,
+		float64(now.Sub(d.epoch))/float64(time.Microsecond),
+		obs.SpanArgs(map[string]any{"job_id": j.ID, "type": string(spec.Type)}, j.TraceID, j.SpanID, parentSpan))
 	d.metrics.queueDepth.Add(1)
 	d.metrics.submitted.With(string(spec.Type)).Inc()
 	d.maybeCompactLocked()
@@ -434,6 +460,11 @@ func (d *Dispatcher) Complete(workerID, jobID string, artifacts map[string]strin
 		return nil, err
 	}
 	delete(d.leases, jobID)
+	if j.TraceID != "" {
+		d.tracer.Instant("job_done", "job", fleetPID, jobsTID,
+			float64(now.Sub(d.epoch))/float64(time.Microsecond),
+			obs.SpanArgs(map[string]any{"job_id": j.ID, "worker": workerID}, j.TraceID, obs.NewSpanID(), j.SpanID))
+	}
 	d.metrics.runningJobs.Add(-1)
 	d.metrics.completed.With(string(j.Spec.Type)).Inc()
 	d.metrics.duration.With(string(j.Spec.Type)).Observe(now.Sub(j.StartedAt).Seconds())

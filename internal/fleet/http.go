@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,10 +10,16 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"readys/internal/obs"
 )
 
 // fleetPID is the pid under which the dispatcher records trace events.
 const fleetPID = 1
+
+// jobsTID is the trace lane carrying job lifecycle instants (submit/done).
+// Request lanes start at tid 1 (reqSeq), so 0 is free.
+const jobsTID = 0
 
 // Canonical artifact names attached to completed jobs.
 const (
@@ -137,14 +144,35 @@ func (d *Dispatcher) instrument(name string, h http.HandlerFunc) http.HandlerFun
 		start := time.Now()
 		id := d.reqSeq.Add(1)
 		w.Header().Set("X-Request-ID", strconv.FormatInt(id, 10))
+		// Adopt the caller's trace so worker- and client-originated requests
+		// stitch into their job's timeline; mint one otherwise.
+		traceID, parentSpan, _ := obs.ExtractTraceContext(r.Header)
+		if traceID == "" {
+			traceID = obs.NewTraceID()
+		}
+		sc := obs.SpanContext{TraceID: traceID, SpanID: obs.NewSpanID()}
+		w.Header().Set(obs.HeaderTraceID, traceID)
+		r = r.WithContext(context.WithValue(r.Context(), traceKey{}, sc))
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		h(sw, r)
 		d.metrics.ObserveHTTP(name, time.Since(start), sw.status >= 400)
 		d.tracer.Complete(name, "request", fleetPID, id,
 			float64(start.Sub(d.epoch))/float64(time.Microsecond),
 			float64(time.Since(start))/float64(time.Microsecond),
-			map[string]any{"request_id": id, "endpoint": name, "status": sw.status})
+			obs.SpanArgs(map[string]any{"request_id": id, "endpoint": name, "status": sw.status},
+				sc.TraceID, sc.SpanID, parentSpan))
 	}
+}
+
+// traceKey carries the request span's trace context through the request
+// context, so handlers spawning further work (job submission) can parent it.
+type traceKey struct{}
+
+// requestTrace returns the trace context instrument() assigned (zero when the
+// handler is exercised directly in tests).
+func requestTrace(ctx context.Context) obs.SpanContext {
+	sc, _ := ctx.Value(traceKey{}).(obs.SpanContext)
+	return sc
 }
 
 func (d *Dispatcher) writeJSON(w http.ResponseWriter, status int, v any) {
@@ -193,7 +221,8 @@ func (d *Dispatcher) handleJobs(w http.ResponseWriter, r *http.Request) {
 			d.writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		job, deduped, err := d.Submit(req.Spec)
+		sc := requestTrace(r.Context())
+		job, deduped, err := d.submitTraced(req.Spec, sc.TraceID, sc.SpanID)
 		if err != nil {
 			d.writeError(w, http.StatusBadRequest, err)
 			return
@@ -375,8 +404,10 @@ func (d *Dispatcher) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	d.writeJSON(w, http.StatusOK, map[string]any{
-		"status": "ok",
-		"wal":    d.cfg.WALPath,
+		"status":         "ok",
+		"wal":            d.cfg.WALPath,
+		"build":          d.build,
+		"uptime_seconds": time.Since(d.epoch).Seconds(),
 	})
 }
 

@@ -169,6 +169,16 @@ type Job struct {
 	Hash string  `json:"hash"`
 	Spec JobSpec `json:"spec"`
 
+	// TraceID is the distributed-trace identity the job's whole lifetime is
+	// recorded under: adopted from the submitter's X-Trace-ID header when
+	// present, minted otherwise. SpanID is the dispatcher-side job span;
+	// worker execution spans name it as their parent, which is what lets
+	// obs.MergeTraces stitch dispatcher and worker exports into one timeline.
+	// Both persist in the WAL so a replayed job keeps its trace. Empty on
+	// records written before tracing existed (tolerated everywhere).
+	TraceID string `json:"trace_id,omitempty"`
+	SpanID  string `json:"span_id,omitempty"`
+
 	State    JobState `json:"state"`
 	Seq      int64    `json:"seq"`      // submission order, tie-breaker within a priority
 	Attempts int      `json:"attempts"` // lease grants so far

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"sync"
@@ -40,12 +41,22 @@ type WorkerConfig struct {
 // Worker pulls jobs from a dispatcher under a heartbeated lease, executes
 // them, uploads artifacts and reports completion. One worker runs one job at
 // a time (training saturates the cores on its own).
+// workerPID is the pid under which a worker records trace events (its own
+// process namespace; obs.MergeTraces remaps pids when joining exports).
+const workerPID = 1
+
 type Worker struct {
 	cfg    WorkerConfig
 	client *Client
 
 	id  string
 	ttl time.Duration
+
+	// epoch anchors trace timestamps; tracer records per-job execution spans
+	// into a bounded ring; jobSeq hands out trace lanes (one per leased job).
+	epoch  time.Time
+	tracer *obs.Tracer
+	jobSeq atomic.Int64
 
 	// progress is the latest episode statistic, piggy-backed on heartbeats.
 	progress atomic.Pointer[Progress]
@@ -79,7 +90,30 @@ func NewWorker(cfg WorkerConfig) *Worker {
 	if cfg.ModelsDir == "" {
 		cfg.ModelsDir = "fleet-models"
 	}
-	return &Worker{cfg: cfg, client: NewClient(cfg.Dispatcher), killed: make(chan struct{})}
+	w := &Worker{
+		cfg:    cfg,
+		client: NewClient(cfg.Dispatcher),
+		epoch:  time.Now(),
+		tracer: obs.NewTracer(0),
+		killed: make(chan struct{}),
+	}
+	w.tracer.NameProcess(workerPID, "readys-worker:"+cfg.Name)
+	return w
+}
+
+// Tracer exposes the worker's span ring (tests and trace export).
+func (w *Worker) Tracer() *obs.Tracer { return w.tracer }
+
+// WriteTrace exports the worker's execution spans as Chrome trace-event JSON.
+// Merged with the dispatcher's /debug/trace export via obs.MergeTraces, the
+// two processes' spans stitch into one timeline through the job's trace IDs.
+func (w *Worker) WriteTrace(out io.Writer) error { return w.tracer.WriteChromeTrace(out) }
+
+// span records a completed slice on the given job lane.
+func (w *Worker) span(name, cat string, tid int64, start time.Time, args map[string]any) {
+	w.tracer.Complete(name, cat, workerPID, tid,
+		float64(start.Sub(w.epoch))/float64(time.Microsecond),
+		float64(time.Since(start))/float64(time.Microsecond), args)
 }
 
 // ID returns the dispatcher-assigned worker ID (empty before Run registers).
@@ -171,6 +205,26 @@ func (w *Worker) execute(job *Job) {
 	w.abandoned.Store(false)
 	w.progress.Store(nil)
 
+	// Join the job's distributed trace: the execute span parents to the
+	// dispatcher-side job span, and the client carries the execute span's
+	// context so every heartbeat/upload/completion request the job makes is
+	// recorded server-side as its child.
+	traceID := job.TraceID
+	if traceID == "" {
+		traceID = obs.NewTraceID() // pre-tracing dispatcher; keep spans linkable
+	}
+	execSC := obs.SpanContext{TraceID: traceID, SpanID: obs.NewSpanID()}
+	w.client.SetTraceContext(execSC)
+	defer w.client.ClearTraceContext()
+	tid := w.jobSeq.Add(1)
+	w.tracer.NameThread(workerPID, tid, job.ID)
+	execStart := time.Now()
+	defer func() {
+		w.span("execute", "job", tid, execStart,
+			obs.SpanArgs(map[string]any{"job_id": job.ID, "type": string(job.Spec.Type), "attempt": job.Attempts},
+				execSC.TraceID, execSC.SpanID, job.SpanID))
+	}()
+
 	stop := make(chan struct{})
 	var hb sync.WaitGroup
 	hb.Add(1)
@@ -201,7 +255,10 @@ func (w *Worker) execute(job *Job) {
 		}
 	}()
 
+	runStart := time.Now()
 	artifacts, result, runErr := w.run(job)
+	w.span(string(job.Spec.Type), "work", tid, runStart,
+		obs.SpanArgs(map[string]any{"ok": runErr == nil}, execSC.TraceID, obs.NewSpanID(), execSC.SpanID))
 	close(stop)
 	hb.Wait()
 
@@ -225,7 +282,11 @@ func (w *Worker) execute(job *Job) {
 
 	digests := make(map[string]string, len(artifacts))
 	for name, data := range artifacts {
+		upStart := time.Now()
 		digest, err := w.client.PutArtifact(data)
+		w.span("upload", "artifact", tid, upStart,
+			obs.SpanArgs(map[string]any{"artifact": name, "bytes": len(data)},
+				execSC.TraceID, obs.NewSpanID(), execSC.SpanID))
 		if err != nil {
 			w.logf("fleet: uploading %s of %s: %v", name, job.ID, err)
 			if ferr := w.client.Fail(w.id, job.ID, fmt.Sprintf("artifact upload: %v", err)); ferr != nil && !errors.Is(ferr, ErrLeaseLost) {

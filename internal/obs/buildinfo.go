@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo identifies the running binary for /healthz responses: module
+// version, VCS revision, and toolchain. Fields the build didn't stamp (e.g.
+// test binaries, or builds outside a git checkout) are left empty rather than
+// guessed.
+type BuildInfo struct {
+	Module   string `json:"module,omitempty"`
+	Version  string `json:"version,omitempty"`
+	Revision string `json:"revision,omitempty"`
+	Modified bool   `json:"modified,omitempty"`
+	Go       string `json:"go"`
+}
+
+// ReadBuildInfo extracts BuildInfo from runtime/debug's embedded build
+// metadata. It never fails: with no embedded info only the Go version is set.
+func ReadBuildInfo() BuildInfo {
+	bi := BuildInfo{Go: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	bi.Module = info.Main.Path
+	if info.Main.Version != "" && info.Main.Version != "(devel)" {
+		bi.Version = info.Main.Version
+	}
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			bi.Revision = s.Value
+		case "vcs.modified":
+			bi.Modified = s.Value == "true"
+		}
+	}
+	return bi
+}

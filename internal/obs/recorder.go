@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+)
+
+// FlightEvent is one record in the cluster flight recorder: a timestamped
+// cluster-level occurrence (a job arriving, a placement decision, a task
+// killed by a fault, a resource going down) kept for post-mortem queries.
+// Fields not meaningful for a kind are left at their zero value; Res is -1
+// when no resource is involved.
+type FlightEvent struct {
+	T    float64 `json:"t"`              // simulated-clock time, seconds
+	Kind string  `json:"kind"`           // one of the Flight* constants
+	Job  string  `json:"job,omitempty"`  // stream job ID, when known
+	Task string  `json:"task,omitempty"` // task name, when known
+	Res  int     `json:"res"`            // resource index, -1 when not applicable
+	Val  float64 `json:"val,omitempty"`  // kind-specific value (depth, speed factor, task count)
+	Note string  `json:"note,omitempty"` // kind-specific detail (fault kind, policy verdict)
+}
+
+// Flight-event kinds recorded by the simulator and stream driver.
+const (
+	FlightArrival      = "arrival"       // a DAG job entered the cluster (Val = task count)
+	FlightDecision     = "decision"      // the policy placed a task on a resource
+	FlightKill         = "kill"          // a running task was killed by a fault
+	FlightFault        = "fault"         // a fault event fired (Note = outage/death/degrade/recover)
+	FlightResourceUp   = "resource_up"   // a resource came (back) up (Val = speed factor)
+	FlightResourceDown = "resource_down" // a resource went down
+	FlightReadyDepth   = "ready_depth"   // periodic sample of the ready-queue depth (Val = depth)
+)
+
+// DefaultFlightCapacity is the ring size used when NewFlightRecorder is given
+// a non-positive capacity: enough for a few hundred streamed jobs.
+const DefaultFlightCapacity = 1 << 14
+
+// FlightRecorder keeps the most recent FlightEvents in a fixed-capacity ring
+// buffer, overwriting the oldest when full — the same always-on, bounded
+// discipline as Tracer, so a long-running stream can leave it enabled and
+// still read the window around an incident afterwards. All methods are safe
+// for concurrent use.
+type FlightRecorder struct {
+	mu      sync.Mutex
+	buf     []FlightEvent
+	next    int
+	full    bool
+	dropped uint64
+}
+
+// NewFlightRecorder returns a recorder with the given ring capacity (<= 0
+// selects DefaultFlightCapacity).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = DefaultFlightCapacity
+	}
+	return &FlightRecorder{buf: make([]FlightEvent, 0, capacity)}
+}
+
+// Record appends one event, overwriting the oldest when the ring is full.
+// Recording on a nil recorder is a no-op, so call sites can stay unguarded.
+func (r *FlightRecorder) Record(e FlightEvent) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.next] = e
+		r.next = (r.next + 1) % cap(r.buf)
+		r.full = true
+		r.dropped++
+	}
+	r.mu.Unlock()
+}
+
+// Events returns a copy of the buffered events in record order (oldest
+// first).
+func (r *FlightRecorder) Events() []FlightEvent {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]FlightEvent(nil), r.buf...)
+	}
+	out := make([]FlightEvent, 0, cap(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Dropped returns how many events were overwritten by ring wrap-around.
+func (r *FlightRecorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Len returns the number of buffered events.
+func (r *FlightRecorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// WriteJSONL exports the buffered events as JSON Lines, one event per line,
+// oldest first — the same shape DecodeJSONLines and ReadFlightEvents read
+// back.
+func (r *FlightRecorder) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range r.Events() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFlightEvents parses a JSONL flight-recorder export, skipping blank
+// lines.
+func ReadFlightEvents(rd io.Reader) ([]FlightEvent, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []FlightEvent
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e FlightEvent
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return nil, fmt.Errorf("obs: flight line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FilterFlight returns the events matching kind (empty = any) within the
+// closed time range [from, to] (to <= 0 = unbounded above).
+func FilterFlight(events []FlightEvent, kind string, from, to float64) []FlightEvent {
+	var out []FlightEvent
+	for _, e := range events {
+		if kind != "" && e.Kind != kind {
+			continue
+		}
+		if e.T < from {
+			continue
+		}
+		if to > 0 && e.T > to {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// FlightSummary aggregates a flight recording for the post-mortem one-liner
+// readys-obs-check prints.
+type FlightSummary struct {
+	Events        int            `json:"events"`
+	TMin          float64        `json:"t_min,omitempty"`
+	TMax          float64        `json:"t_max,omitempty"`
+	ByKind        map[string]int `json:"by_kind"`
+	KillsByRes    map[int]int    `json:"kills_by_res,omitempty"`
+	MaxReadyDepth float64        `json:"max_ready_depth,omitempty"`
+}
+
+// SummarizeFlight counts events per kind, tracks the recorded time range, the
+// per-resource kill tally, and the deepest ready-queue sample.
+func SummarizeFlight(events []FlightEvent) FlightSummary {
+	s := FlightSummary{ByKind: make(map[string]int)}
+	s.Events = len(events)
+	if len(events) == 0 {
+		return s
+	}
+	s.TMin, s.TMax = math.Inf(1), math.Inf(-1)
+	for _, e := range events {
+		s.ByKind[e.Kind]++
+		if e.T < s.TMin {
+			s.TMin = e.T
+		}
+		if e.T > s.TMax {
+			s.TMax = e.T
+		}
+		if e.Kind == FlightKill && e.Res >= 0 {
+			if s.KillsByRes == nil {
+				s.KillsByRes = make(map[int]int)
+			}
+			s.KillsByRes[e.Res]++
+		}
+		if e.Kind == FlightReadyDepth && e.Val > s.MaxReadyDepth {
+			s.MaxReadyDepth = e.Val
+		}
+	}
+	return s
+}
+
+// FormatFlightSummary renders a summary as stable, sorted text for CLI output
+// and golden tests.
+func FormatFlightSummary(s FlightSummary) string {
+	out := fmt.Sprintf("events=%d", s.Events)
+	if s.Events > 0 {
+		out += fmt.Sprintf(" t=[%.3f,%.3f]", s.TMin, s.TMax)
+	}
+	kinds := make([]string, 0, len(s.ByKind))
+	for k := range s.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		out += fmt.Sprintf(" %s=%d", k, s.ByKind[k])
+	}
+	if s.MaxReadyDepth > 0 {
+		out += fmt.Sprintf(" max_ready_depth=%.0f", s.MaxReadyDepth)
+	}
+	if len(s.KillsByRes) > 0 {
+		ress := make([]int, 0, len(s.KillsByRes))
+		for r := range s.KillsByRes {
+			ress = append(ress, r)
+		}
+		sort.Ints(ress)
+		for _, r := range ress {
+			out += fmt.Sprintf(" kills[res%d]=%d", r, s.KillsByRes[r])
+		}
+	}
+	return out
+}

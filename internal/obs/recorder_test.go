@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFlightRecorderWrapOverwritesOldest(t *testing.T) {
+	r := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Record(FlightEvent{T: float64(i), Kind: FlightDecision, Res: i})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want capacity 4", r.Len())
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", r.Dropped())
+	}
+	evs := r.Events()
+	// Oldest overwritten: the survivors are the last four, in record order.
+	for i, e := range evs {
+		if want := float64(6 + i); e.T != want {
+			t.Errorf("event %d: T = %v, want %v", i, e.T, want)
+		}
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var r *FlightRecorder
+	r.Record(FlightEvent{Kind: FlightKill}) // must not panic
+	if r.Len() != 0 || r.Dropped() != 0 || r.Events() != nil {
+		t.Error("nil recorder should report empty")
+	}
+}
+
+func TestFlightJSONLRoundTrip(t *testing.T) {
+	r := NewFlightRecorder(0)
+	in := []FlightEvent{
+		{T: 0, Kind: FlightArrival, Job: "j0", Res: -1, Val: 21},
+		{T: 1.5, Kind: FlightDecision, Job: "j0", Task: "POTRF_0", Res: 2},
+		{T: 3.25, Kind: FlightFault, Res: 1, Note: "outage"},
+		{T: 3.25, Kind: FlightResourceDown, Res: 1},
+		{T: 4, Kind: FlightKill, Job: "j0", Task: "TRSM_1_0", Res: 1, Note: "outage"},
+		{T: 6, Kind: FlightResourceUp, Res: 1, Val: 1.0},
+		{T: 7, Kind: FlightReadyDepth, Res: -1, Val: 5},
+	}
+	for _, e := range in {
+		r.Record(e)
+	}
+	var b bytes.Buffer
+	if err := r.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadFlightEvents(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip lost events: %d -> %d", len(in), len(out))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("event %d: %+v != %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestFilterAndSummarizeFlight(t *testing.T) {
+	events := []FlightEvent{
+		{T: 0, Kind: FlightArrival, Res: -1},
+		{T: 1, Kind: FlightKill, Res: 2},
+		{T: 2, Kind: FlightKill, Res: 2},
+		{T: 3, Kind: FlightKill, Res: 0},
+		{T: 4, Kind: FlightReadyDepth, Res: -1, Val: 7},
+		{T: 9, Kind: FlightReadyDepth, Res: -1, Val: 3},
+	}
+	kills := FilterFlight(events, FlightKill, 0, 0)
+	if len(kills) != 3 {
+		t.Fatalf("kind filter: %d, want 3", len(kills))
+	}
+	windowed := FilterFlight(events, "", 1, 4)
+	if len(windowed) != 4 {
+		t.Fatalf("time filter: %d, want 4", len(windowed))
+	}
+
+	s := SummarizeFlight(events)
+	if s.Events != 6 || s.TMin != 0 || s.TMax != 9 {
+		t.Errorf("summary bounds: %+v", s)
+	}
+	if s.ByKind[FlightKill] != 3 || s.KillsByRes[2] != 2 || s.KillsByRes[0] != 1 {
+		t.Errorf("kill tally: %+v", s)
+	}
+	if s.MaxReadyDepth != 7 {
+		t.Errorf("max ready depth = %v, want 7", s.MaxReadyDepth)
+	}
+	line := FormatFlightSummary(s)
+	for _, want := range []string{"events=6", "kill=3", "max_ready_depth=7", "kills[res2]=2"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("summary line missing %q: %s", want, line)
+		}
+	}
+}

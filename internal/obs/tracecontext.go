@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+)
+
+// Distributed trace context. A trace is one logical operation (a schedule
+// request, a fleet job) whose spans may be recorded by several processes —
+// client, dispatcher, worker, serving daemon — each into its own Tracer ring.
+// The context travels between processes in two HTTP headers next to
+// X-Request-ID; inside a trace export it lives in the span's Args under the
+// "trace_id" / "span_id" / "parent_span_id" keys, which is what MergeTraces
+// joins on and ValidateTraceLinks resolves.
+const (
+	// HeaderTraceID carries the trace identity of the calling operation.
+	HeaderTraceID = "X-Trace-ID"
+	// HeaderParentSpan carries the caller's current span ID; the callee's
+	// request span becomes its child.
+	HeaderParentSpan = "X-Parent-Span-ID"
+)
+
+// Args keys under which span identity is recorded in trace events.
+const (
+	ArgTraceID    = "trace_id"
+	ArgSpanID     = "span_id"
+	ArgParentSpan = "parent_span_id"
+)
+
+// SpanContext identifies one span within one trace.
+type SpanContext struct {
+	// TraceID groups every span of one logical operation across processes.
+	TraceID string
+	// SpanID identifies this span; children reference it as their parent.
+	SpanID string
+}
+
+// NewTraceID returns a fresh 16-hex-digit trace identity. IDs are random
+// (crypto/rand), so traces started independently by different processes never
+// collide.
+func NewTraceID() string { return randomHex(8) }
+
+// NewSpanID returns a fresh 16-hex-digit span identity.
+func NewSpanID() string { return randomHex(8) }
+
+func randomHex(n int) string {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		// crypto/rand never fails on supported platforms; a zero ID keeps the
+		// trace loadable rather than crashing the instrumented request path.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b)
+}
+
+// Inject writes the context into outbound request headers. Empty fields are
+// omitted, so an uninitialised context injects nothing.
+func (sc SpanContext) Inject(h http.Header) {
+	if sc.TraceID != "" {
+		h.Set(HeaderTraceID, sc.TraceID)
+	}
+	if sc.SpanID != "" {
+		h.Set(HeaderParentSpan, sc.SpanID)
+	}
+}
+
+// ExtractTraceContext reads the inbound trace context: the caller's trace ID
+// and the span that should become the parent of the callee's request span.
+// ok is false when no trace header was present.
+func ExtractTraceContext(h http.Header) (traceID, parentSpan string, ok bool) {
+	traceID = h.Get(HeaderTraceID)
+	parentSpan = h.Get(HeaderParentSpan)
+	return traceID, parentSpan, traceID != "" || parentSpan != ""
+}
+
+// SpanArgs merges span identity into a (possibly nil) args map: trace_id and
+// span_id always, parent_span_id only when non-empty. The input map is
+// returned when non-nil (mutated in place), matching how trace call sites
+// build their args.
+func SpanArgs(args map[string]any, traceID, spanID, parentSpan string) map[string]any {
+	if args == nil {
+		args = make(map[string]any, 3)
+	}
+	args[ArgTraceID] = traceID
+	args[ArgSpanID] = spanID
+	if parentSpan != "" {
+		args[ArgParentSpan] = parentSpan
+	}
+	return args
+}

@@ -15,14 +15,38 @@ import (
 // servePID is the pid under which the server records trace events.
 const servePID = 1
 
-// ridKey carries the per-request ID through the request context.
+// ridKey carries the per-request info through the request context.
 type ridKey struct{}
+
+// reqInfo is what instrument() attaches to the request context: the numeric
+// request ID (the trace lane) and the request span's distributed-trace
+// identity.
+type reqInfo struct {
+	id int64
+	sc obs.SpanContext
+}
 
 // requestID returns the ID instrument() assigned to this request (0 when the
 // request did not pass through instrument, e.g. in direct handler tests).
 func requestID(ctx context.Context) int64 {
-	id, _ := ctx.Value(ridKey{}).(int64)
-	return id
+	info, _ := ctx.Value(ridKey{}).(reqInfo)
+	return info.id
+}
+
+// traceContext returns the request span's trace identity: children record it
+// as their parent so client→serve→decide spans stitch across processes.
+func traceContext(ctx context.Context) obs.SpanContext {
+	info, _ := ctx.Value(ridKey{}).(reqInfo)
+	return info.sc
+}
+
+// childArgs stamps span identity for a child of the request span (no-op on
+// requests that did not pass through instrument).
+func childArgs(sc obs.SpanContext, args map[string]any) map[string]any {
+	if sc.TraceID == "" {
+		return args
+	}
+	return obs.SpanArgs(args, sc.TraceID, obs.NewSpanID(), sc.SpanID)
 }
 
 // tsMicros converts a wall-clock instant into trace microseconds relative to
@@ -45,6 +69,7 @@ type tracedPolicy struct {
 	inner sim.Policy
 	srv   *Server
 	tid   int64
+	sc    obs.SpanContext
 }
 
 func (p tracedPolicy) Reset(st *sim.State) { p.inner.Reset(st) }
@@ -52,7 +77,7 @@ func (p tracedPolicy) Reset(st *sim.State) { p.inner.Reset(st) }
 func (p tracedPolicy) Decide(st *sim.State, r int) int {
 	start := time.Now()
 	task := p.inner.Decide(st, r)
-	p.srv.span("decide", "inference", p.tid, start, map[string]any{"resource": r, "task": task})
+	p.srv.span("decide", "inference", p.tid, start, childArgs(p.sc, map[string]any{"resource": r, "task": task}))
 	return task
 }
 

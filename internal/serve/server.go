@@ -73,6 +73,7 @@ type Server struct {
 	epoch  time.Time
 	tracer *obs.Tracer
 	reqSeq atomic.Int64
+	build  obs.BuildInfo
 }
 
 // New builds a server from the config (zero fields take defaults).
@@ -106,6 +107,7 @@ func New(cfg Config) *Server {
 		mux:      http.NewServeMux(),
 		epoch:    time.Now(),
 		tracer:   obs.NewTracer(cfg.TraceEvents),
+		build:    obs.ReadBuildInfo(),
 	}
 	s.tracer.NameProcess(servePID, "readys-serve")
 	registerComponentGauges(s.metrics.Registry(), s.registry, s.pool)
@@ -155,15 +157,23 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 		start := time.Now()
 		id := s.reqSeq.Add(1)
 		w.Header().Set("X-Request-ID", strconv.FormatInt(id, 10))
-		r = r.WithContext(context.WithValue(r.Context(), ridKey{}, id))
+		// Adopt the caller's trace (client→serve spans stitch into one
+		// timeline) or start a fresh one; children parent to the request span.
+		traceID, parentSpan, _ := obs.ExtractTraceContext(r.Header)
+		if traceID == "" {
+			traceID = obs.NewTraceID()
+		}
+		sc := obs.SpanContext{TraceID: traceID, SpanID: obs.NewSpanID()}
+		w.Header().Set(obs.HeaderTraceID, traceID)
+		r = r.WithContext(context.WithValue(r.Context(), ridKey{}, reqInfo{id: id, sc: sc}))
 		s.metrics.IncInflight()
 		defer s.metrics.DecInflight()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		h(sw, r)
 		s.metrics.Observe(name, time.Since(start), sw.status >= 400)
-		s.span("request", name, id, start, map[string]any{
+		s.span("request", name, id, start, obs.SpanArgs(map[string]any{
 			"request_id": id, "endpoint": name, "status": sw.status,
-		})
+		}, sc.TraceID, sc.SpanID, parentSpan))
 	}
 }
 
@@ -185,8 +195,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJSON(w, http.StatusOK, map[string]any{
-		"status": "ok",
-		"models": s.cfg.ModelsDir,
+		"status":         "ok",
+		"models":         s.cfg.ModelsDir,
+		"build":          s.build,
+		"uptime_seconds": time.Since(s.epoch).Seconds(),
 	})
 }
 
@@ -241,10 +253,11 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	}
 	kind, _ := req.kind() // validated above
 	rid := requestID(r.Context())
+	sc := traceContext(r.Context())
 
 	acquireStart := time.Now()
 	lease, cacheHit, err := s.registry.Acquire(kind, req.ModelT(), req.CPUs, req.GPUs)
-	s.span("model_load", "registry", rid, acquireStart, map[string]any{"cache_hit": cacheHit})
+	s.span("model_load", "registry", rid, acquireStart, childArgs(sc, map[string]any{"cache_hit": cacheHit}))
 	if err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, errModelNotFound) {
@@ -270,9 +283,9 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	)
 	enqueued := time.Now()
 	err = s.pool.Do(ctx, func() {
-		s.span("queue_wait", "pool", rid, enqueued, nil)
+		s.span("queue_wait", "pool", rid, enqueued, childArgs(sc, nil))
 		defer lease.Release()
-		resp, runErr = s.runSchedule(&req, prob, lease, cacheHit, rid)
+		resp, runErr = s.runSchedule(&req, prob, lease, cacheHit, rid, sc)
 	})
 	switch {
 	case errors.Is(err, ErrBusy):
@@ -303,11 +316,11 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 // duration, so the forward passes share no mutable state with other workers.
 // The rollout, each inference decision and the reference schedules are
 // recorded as spans on the request's trace lane.
-func (s *Server) runSchedule(req *ScheduleRequest, prob core.Problem, lease *Lease, cacheHit bool, rid int64) (ScheduleResponse, error) {
+func (s *Server) runSchedule(req *ScheduleRequest, prob core.Problem, lease *Lease, cacheHit bool, rid int64, sc obs.SpanContext) (ScheduleResponse, error) {
 	start := time.Now()
-	pol := tracedPolicy{inner: core.NewPolicy(lease.Agent()), srv: s, tid: rid}
+	pol := tracedPolicy{inner: core.NewPolicy(lease.Agent()), srv: s, tid: rid, sc: sc}
 	res, err := prob.Simulate(pol, rand.New(rand.NewSource(req.Seed)))
-	s.span("rollout", "sim", rid, start, map[string]any{"tasks": prob.Graph.NumTasks(), "decisions": res.Decisions})
+	s.span("rollout", "sim", rid, start, childArgs(sc, map[string]any{"tasks": prob.Graph.NumTasks(), "decisions": res.Decisions}))
 	if err != nil {
 		return ScheduleResponse{}, fmt.Errorf("serve: rollout: %w", err)
 	}
@@ -319,7 +332,7 @@ func (s *Server) runSchedule(req *ScheduleRequest, prob core.Problem, lease *Lea
 	refStart := time.Now()
 	heft := sched.HEFT(prob.Graph, prob.Platform, prob.Timing).Makespan
 	mctRes, err := prob.Simulate(sched.MCTPolicy{}, rand.New(rand.NewSource(req.Seed)))
-	s.span("references", "sim", rid, refStart, nil)
+	s.span("references", "sim", rid, refStart, childArgs(sc, nil))
 	if err != nil {
 		return ScheduleResponse{}, fmt.Errorf("serve: MCT reference: %w", err)
 	}

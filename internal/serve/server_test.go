@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"readys/internal/core"
+	"readys/internal/obs"
 	"readys/internal/platform"
 	"readys/internal/sim"
 	"readys/internal/taskgraph"
@@ -159,6 +160,23 @@ func TestServeModelsAndHealthz(t *testing.T) {
 	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
 	if rec.Code != http.StatusOK {
 		t.Fatalf("healthz -> %d", rec.Code)
+	}
+	var health struct {
+		Status        string        `json:"status"`
+		Build         obs.BuildInfo `json:"build"`
+		UptimeSeconds *float64      `json:"uptime_seconds"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
+		t.Fatalf("healthz body: %v", err)
+	}
+	if health.Status != "ok" {
+		t.Errorf("healthz status %q", health.Status)
+	}
+	if health.Build.Go == "" {
+		t.Errorf("healthz build info missing go version: %+v", health.Build)
+	}
+	if health.UptimeSeconds == nil || *health.UptimeSeconds < 0 {
+		t.Errorf("healthz uptime_seconds missing or negative: %v", health.UptimeSeconds)
 	}
 
 	rec = httptest.NewRecorder()

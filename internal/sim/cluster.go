@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math"
 
+	"readys/internal/obs"
 	"readys/internal/platform"
 	"readys/internal/taskgraph"
 )
@@ -65,6 +66,7 @@ func NewCluster(plat platform.Platform, opt Options) (*Cluster, error) {
 		downUntil:   make([]float64, plat.Size()),
 		deathAt:     make([]float64, plat.Size()),
 		tracer:      opt.Tracer,
+		recorder:    opt.Recorder,
 	}
 	for r := range s.RunningTask {
 		s.RunningTask[r] = NoTask
@@ -157,6 +159,12 @@ func (c *Cluster) AddJob(job int, g *taskgraph.Graph, tt platform.Timing) (int, 
 	if s.tracer != nil {
 		traceArrival(s, job, base, g.NumTasks())
 	}
+	if s.recorder != nil {
+		s.recorder.Record(obs.FlightEvent{
+			T: s.Now, Kind: obs.FlightArrival,
+			Job: fmt.Sprintf("j%d", job), Res: -1, Val: float64(g.NumTasks()),
+		})
+	}
 	return base, nil
 }
 
@@ -227,10 +235,16 @@ func (c *Cluster) Drain(pol Policy) error {
 	return nil
 }
 
-// account integrates the ready-queue depth up to time t.
+// account integrates the ready-queue depth up to time t and samples it into
+// the flight recorder (one sample per advance, at the interval's start).
 func (c *Cluster) account(t float64) {
 	if dt := t - c.s.Now; dt > 0 {
 		c.readyIntegral += float64(len(c.s.Ready)) * dt
+		if c.s.recorder != nil {
+			c.s.recorder.Record(obs.FlightEvent{
+				T: c.s.Now, Kind: obs.FlightReadyDepth, Res: -1, Val: float64(len(c.s.Ready)),
+			})
+		}
 	}
 }
 

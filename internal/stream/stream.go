@@ -31,6 +31,11 @@ type Config struct {
 	// Metrics, if non-nil, receives job-level metrics: readys_stream_*
 	// counters, response-time histogram and terminal gauges.
 	Metrics *obs.Registry
+	// Recorder, if non-nil, is the cluster flight recorder: the run's
+	// arrivals, placements, kills, fault transitions and ready-depth samples
+	// land in its ring and the Result keeps a reference (Result.Flight) for
+	// export. Recording is bit-inert: results are identical with it off.
+	Recorder *obs.FlightRecorder
 }
 
 // JobResult is the job-level outcome streaming scheduling is judged on.
@@ -74,6 +79,10 @@ type Result struct {
 	// Sim is the union-schedule result; Validate checks it.
 	Sim sim.Result
 
+	// Flight is the run's flight recorder (nil when Config.Recorder was
+	// unset): the queryable event window behind post-mortems.
+	Flight *obs.FlightRecorder
+
 	graph    *taskgraph.Graph
 	timingOf func(task int) platform.Timing
 	cfg      Config
@@ -99,10 +108,11 @@ func Run(pol sim.Policy, cfg Config) (*Result, error) {
 	}
 
 	cl, err := sim.NewCluster(cfg.Platform, sim.Options{
-		Sigma:  cfg.Sigma,
-		Rng:    cfg.Rng,
-		Faults: cfg.Faults,
-		Tracer: cfg.Tracer,
+		Sigma:    cfg.Sigma,
+		Rng:      cfg.Rng,
+		Faults:   cfg.Faults,
+		Tracer:   cfg.Tracer,
+		Recorder: cfg.Recorder,
 	})
 	if err != nil {
 		return nil, err
@@ -169,6 +179,7 @@ func Run(pol sim.Policy, cfg Config) (*Result, error) {
 		Makespan:       cl.Now(),
 		MeanReadyDepth: cl.MeanReadyDepth(),
 		Sim:            cl.Result(),
+		Flight:         cfg.Recorder,
 		graph:          s.Graph,
 		timingOf:       s.TaskTiming,
 		cfg:            cfg,
@@ -201,6 +212,8 @@ func Run(pol sim.Policy, cfg Config) (*Result, error) {
 			func() float64 { return res.Utilization })
 		cfg.Metrics.GaugeFunc("readys_stream_mean_ready_depth", "time-averaged ready-queue depth",
 			func() float64 { return res.MeanReadyDepth })
+		cfg.Metrics.Counter("readys_stream_tasks_completed_total", "tasks retired across all jobs").Add(uint64(s.NumDone))
+		cfg.Metrics.Counter("readys_stream_kills_total", "task attempts killed by fault events").Add(uint64(res.Kills))
 	}
 	return res, nil
 }
