@@ -1,8 +1,12 @@
 # Pre-merge checks for the READYS reproduction.
 #
-#   make check       — everything a PR must pass: build, vet, tests, race
-#                      tests, observability smoke test, perf-regression gate,
-#                      fleet smoke test, stream smoke test
+#   make check       — everything a PR must pass: build, vet, tests, decision-
+#                      equivalence gate, race tests, observability smoke test,
+#                      perf-regression gate, fleet smoke test, stream smoke test
+#   make equiv       — decision-equivalence gate: the incremental/serving
+#                      decision paths must match the full-rebuild tape oracle
+#                      (bitwise for float64; bounded divergence for the
+#                      quantized tiers)
 #   make race        — just the race-detector runs (serving, agent core, RL,
 #                      fleet, fault-injecting simulator, streaming arrivals)
 #   make obs-smoke   — end-to-end telemetry/trace pipeline check: telemetry
@@ -31,12 +35,12 @@ OBS_TMP ?= /tmp/readys-obs-smoke
 # fractional regression tolerance (0.20 = a key metric may be up to 20% worse
 # before the gate trips; raise via `make check BENCH_TOL=0.35` on known-slow
 # machines).
-BENCH_BASE ?= BENCH_b7783c0.json
+BENCH_BASE ?= BENCH_09ca814.json
 BENCH_TOL ?= 0.20
 
-.PHONY: check build vet test race obs-smoke chaos-smoke stream-smoke fleet-smoke bench bench-smoke bench-compare bench-serve serve fleet
+.PHONY: check build vet test equiv race obs-smoke chaos-smoke stream-smoke fleet-smoke bench bench-smoke bench-compare bench-serve serve fleet
 
-check: build vet test race obs-smoke chaos-smoke stream-smoke fleet-smoke bench-compare
+check: build vet test equiv race obs-smoke chaos-smoke stream-smoke fleet-smoke bench-compare
 
 build:
 	$(GO) build ./...
@@ -46,6 +50,16 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Decision-equivalence proofs, named explicitly so a failure reads as "the
+# optimised decision path diverged from the oracle" rather than a generic
+# test break: incremental state vs full rebuild (bitwise, incl. faults and
+# streaming AddJob invalidation), float64 serving engine vs the autograd
+# tape, quantized-tier divergence bounds, and the training guard. These also
+# run under `make test`; this target is the canonical gate.
+equiv:
+	$(GO) test -run 'TestIncremental|TestServing|TestQuantizedBoundedDivergence' ./internal/core/
+	$(GO) test -run 'TestStreamIncrementalIdentical' ./internal/stream/
 
 # Concurrency-sensitive packages run under the race detector: internal/serve
 # (registry, pool, handlers), internal/core (shared-agent inference),

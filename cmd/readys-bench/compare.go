@@ -78,40 +78,59 @@ func compareReports(old, cur report, tol float64) (rows []metricDelta, skipped [
 		}
 	}
 
-	// decide by (kind, T): the serving hot path's ns per decision.
+	// decide by (kind, T, path, precision): ns per decision of each decision
+	// pipeline. Pre-PR-8 baselines carry only the unlabeled (path="",
+	// precision="") row, so the labeled pipeline rows of a current run are
+	// skipped against them rather than failing the gate; once a snapshot with
+	// labeled rows is committed, every pipeline gates independently.
 	type dk struct {
-		kind string
-		t    int
+		kind            string
+		t               int
+		path, precision string
+	}
+	decCfg := func(k dk) string {
+		s := fmt.Sprintf("%s T=%d", k.kind, k.t)
+		if k.path != "" {
+			s += " " + k.path
+			if k.precision != "" {
+				s += "/" + k.precision
+			}
+		}
+		return s
 	}
 	oldDec := make(map[dk]decideResult, len(old.Decide))
 	for _, r := range old.Decide {
-		oldDec[dk{r.Kind, r.T}] = r
+		oldDec[dk{r.Kind, r.T, r.Path, r.Precision}] = r
 	}
 	matchedDec := make(map[dk]bool)
 	for _, c := range cur.Decide {
-		k := dk{c.Kind, c.T}
+		k := dk{c.Kind, c.T, c.Path, c.Precision}
 		o, ok := oldDec[k]
 		if !ok {
-			skipped = append(skipped, fmt.Sprintf("decide %s T=%d: not in baseline", c.Kind, c.T))
+			skipped = append(skipped, fmt.Sprintf("decide %s: not in baseline", decCfg(k)))
 			continue
 		}
 		matchedDec[k] = true
-		judge("decide", fmt.Sprintf("%s T=%d", c.Kind, c.T), "ns_per_decision", float64(o.NsPerDecision), float64(c.NsPerDecision), true)
+		judge("decide", decCfg(k), "ns_per_decision", float64(o.NsPerDecision), float64(c.NsPerDecision), true)
 	}
 	for _, o := range old.Decide {
-		if !matchedDec[dk{o.Kind, o.T}] {
-			skipped = append(skipped, fmt.Sprintf("decide %s T=%d: not in current run", o.Kind, o.T))
+		if k := (dk{o.Kind, o.T, o.Path, o.Precision}); !matchedDec[k] {
+			skipped = append(skipped, fmt.Sprintf("decide %s: not in current run", decCfg(k)))
 		}
 	}
 
 	// train by (kind, T): sparse training throughput.
-	oldTr := make(map[dk]trainResult, len(old.Train))
-	for _, r := range old.Train {
-		oldTr[dk{r.Kind, r.T}] = r
+	type tk struct {
+		kind string
+		t    int
 	}
-	matchedTr := make(map[dk]bool)
+	oldTr := make(map[tk]trainResult, len(old.Train))
+	for _, r := range old.Train {
+		oldTr[tk{r.Kind, r.T}] = r
+	}
+	matchedTr := make(map[tk]bool)
 	for _, c := range cur.Train {
-		k := dk{c.Kind, c.T}
+		k := tk{c.Kind, c.T}
 		o, ok := oldTr[k]
 		if !ok {
 			skipped = append(skipped, fmt.Sprintf("train %s T=%d: not in baseline", c.Kind, c.T))
@@ -121,7 +140,7 @@ func compareReports(old, cur report, tol float64) (rows []metricDelta, skipped [
 		judge("train", fmt.Sprintf("%s T=%d", c.Kind, c.T), "sparse_eps_per_sec", o.SparseEpsPerSec, c.SparseEpsPerSec, false)
 	}
 	for _, o := range old.Train {
-		if !matchedTr[dk{o.Kind, o.T}] {
+		if !matchedTr[tk{o.Kind, o.T}] {
 			skipped = append(skipped, fmt.Sprintf("train %s T=%d: not in current run", o.Kind, o.T))
 		}
 	}
@@ -159,7 +178,7 @@ func compareReports(old, cur report, tol float64) (rows []metricDelta, skipped [
 // latency that grew and a throughput that shrank.
 func printComparison(w io.Writer, baseline string, rows []metricDelta, skipped []string, tol float64) {
 	fmt.Fprintf(w, "comparing against %s (tolerance %.0f%%)\n", baseline, 100*tol)
-	fmt.Fprintf(w, "%-7s %-18s %-20s %12s %12s %9s  %s\n",
+	fmt.Fprintf(w, "%-7s %-28s %-20s %12s %12s %9s  %s\n",
 		"section", "config", "metric", "old", "new", "delta", "status")
 	for _, r := range rows {
 		status := "ok"
@@ -168,7 +187,7 @@ func printComparison(w io.Writer, baseline string, rows []metricDelta, skipped [
 		} else if r.Delta < -0.001 {
 			status = "improved"
 		}
-		fmt.Fprintf(w, "%-7s %-18s %-20s %12.4g %12.4g %+8.1f%%  %s\n",
+		fmt.Fprintf(w, "%-7s %-28s %-20s %12.4g %12.4g %+8.1f%%  %s\n",
 			r.Section, r.Config, r.Metric, r.Old, r.New, 100*r.Delta, status)
 	}
 	for _, s := range skipped {

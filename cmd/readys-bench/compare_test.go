@@ -130,3 +130,74 @@ func TestResolveTol(t *testing.T) {
 		t.Errorf("flag beats env: %v", got)
 	}
 }
+
+// TestComparePrecisionRowsAgainstOldBaseline pins the PR 8 migration path: a
+// current run with labeled decide pipeline rows gated against a pre-PR-8
+// baseline (unlabeled decide row only) must judge the unlabeled row, skip
+// every labeled row without failing, and still trip on a regression of the
+// unlabeled row.
+func TestComparePrecisionRowsAgainstOldBaseline(t *testing.T) {
+	cur := currentReport()
+	cur.Decide = append(cur.Decide,
+		decideResult{Kind: "cholesky", T: 8, Path: "rebuild", Precision: "float64", NsPerDecision: 620000},
+		decideResult{Kind: "cholesky", T: 8, Path: "serving", Precision: "float64", NsPerDecision: 90000},
+		decideResult{Kind: "cholesky", T: 8, Path: "serving", Precision: "int8", NsPerDecision: 60000},
+	)
+	rows, skipped, regressed := compareReports(baselineReport(), cur, 0.20)
+	if regressed {
+		t.Fatalf("labeled rows against an old baseline tripped the gate: %+v", rows)
+	}
+	decideRows := 0
+	for _, r := range rows {
+		if r.Section == "decide" {
+			decideRows++
+			if r.Config != "cholesky T=8" {
+				t.Errorf("labeled row %q judged against unlabeled baseline", r.Config)
+			}
+		}
+	}
+	if decideRows != 1 {
+		t.Fatalf("want exactly the unlabeled decide row judged, got %d", decideRows)
+	}
+	joined := strings.Join(skipped, "; ")
+	for _, want := range []string{
+		"decide cholesky T=8 rebuild/float64: not in baseline",
+		"decide cholesky T=8 serving/float64: not in baseline",
+		"decide cholesky T=8 serving/int8: not in baseline",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing skip notice %q in %q", want, joined)
+		}
+	}
+
+	// The unlabeled row must still gate.
+	cur.Decide[0].NsPerDecision = 900000
+	if _, _, regressed := compareReports(baselineReport(), cur, 0.20); !regressed {
+		t.Fatal("unlabeled-row regression masked by labeled rows")
+	}
+}
+
+// TestComparePrecisionRowsGate: once a baseline carries labeled rows, each
+// pipeline gates independently — a regression on the int8 serving row trips
+// even when the unlabeled default row improved.
+func TestComparePrecisionRowsGate(t *testing.T) {
+	base := baselineReport()
+	base.Decide = append(base.Decide,
+		decideResult{Kind: "cholesky", T: 8, Path: "serving", Precision: "int8", NsPerDecision: 60000})
+	cur := currentReport()
+	cur.Decide[0].NsPerDecision = 100000 // default row much faster
+	cur.Decide = append(cur.Decide,
+		decideResult{Kind: "cholesky", T: 8, Path: "serving", Precision: "int8", NsPerDecision: 90000})
+	rows, _, regressed := compareReports(base, cur, 0.20)
+	if !regressed {
+		t.Fatalf("int8 row regression not caught: %+v", rows)
+	}
+	for _, r := range rows {
+		if r.Config == "cholesky T=8 serving/int8" && !r.Regressed {
+			t.Errorf("int8 row should be regressed: %+v", r)
+		}
+		if r.Config == "cholesky T=8" && r.Regressed {
+			t.Errorf("improved default row flagged: %+v", r)
+		}
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"testing"
@@ -67,8 +68,16 @@ type spmmResult struct {
 }
 
 type decideResult struct {
-	Kind            string  `json:"kind"`
-	T               int     `json:"T"`
+	Kind string `json:"kind"`
+	T    int    `json:"T"`
+	// Path and Precision identify the decision pipeline of the row: "" (the
+	// default policy — incremental state, decision memo, tape forward),
+	// "rebuild" (full EncodeFault + tape on every decision, the
+	// pre-optimization oracle) or "serving" (the allocation-free engine), with
+	// Precision naming the serving tier. Both are omitted from the legacy
+	// default row so old snapshots keep matching it byte for byte.
+	Path            string  `json:"path,omitempty"`
+	Precision       string  `json:"precision,omitempty"`
 	DecisionsPerSec float64 `json:"decisions_per_sec"`
 	NsPerDecision   int64   `json:"ns_per_decision"`
 	AllocsPerOp     int64   `json:"allocs_per_decision"`
@@ -112,13 +121,40 @@ type report struct {
 
 func main() {
 	var (
-		out     = flag.String("out", "", "output path (default BENCH_<rev>.json; with -compare: only written when set)")
-		tiles   = flag.Int("T", 8, "Cholesky tile count for the decide and training benchmarks")
-		quick   = flag.Bool("quick", false, "smoke mode: tiny sizes, a few episodes (CI)")
-		compare = flag.String("compare", "", "baseline BENCH_*.json to gate against; exit 1 on regression")
-		tol     = flag.Float64("tol", 0, "regression tolerance as a fraction (default $BENCH_TOL, else 0.20)")
+		out        = flag.String("out", "", "output path (default BENCH_<rev>.json; with -compare: only written when set)")
+		tiles      = flag.Int("T", 8, "Cholesky tile count for the decide and training benchmarks")
+		quick      = flag.Bool("quick", false, "smoke mode: tiny sizes, a few episodes (CI)")
+		compare    = flag.String("compare", "", "baseline BENCH_*.json to gate against; exit 1 on regression")
+		tol        = flag.Float64("tol", 0, "regression tolerance as a fraction (default $BENCH_TOL, else 0.20)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	rev := gitRev()
 	path := *out
@@ -148,10 +184,23 @@ func main() {
 
 	// decide follows -T even in quick mode so a quick gate run produces a row
 	// matching the committed full-run baseline (which benches decide at T=8).
+	// The unlabeled row is the default policy (incremental + memo since PR 8)
+	// and keeps the legacy shape so pre-PR-8 baselines still match it; the
+	// labeled rows pin each pipeline explicitly for the gate going forward.
 	decT := *tiles
-	rep.Decide = append(rep.Decide, benchDecide(decT))
-	fmt.Printf("decide T=%d: %.0f decisions/sec, %d allocs/decision\n",
-		decT, rep.Decide[0].DecisionsPerSec, rep.Decide[0].AllocsPerOp)
+	for _, v := range decideVariants() {
+		r := benchDecide(decT, v)
+		rep.Decide = append(rep.Decide, r)
+		label := "default"
+		if v.path != "" {
+			label = v.path
+			if v.prec != "" {
+				label += "/" + v.prec
+			}
+		}
+		fmt.Printf("decide T=%d %s: %.0f decisions/sec (%d ns, %d allocs per decision)\n",
+			decT, label, r.DecisionsPerSec, r.NsPerDecision, r.AllocsPerOp)
+	}
 
 	trainTs := []int{*tiles}
 	if !*quick && *tiles < 16 {
@@ -279,13 +328,41 @@ func benchSpMM(n, hidden int) spmmResult {
 	}
 }
 
-// benchDecide measures single scheduling decisions (Forward + release) on the
-// initial state of a Cholesky problem — the serve hot path.
-func benchDecide(T int) decideResult {
+// decideVariant names one decision pipeline for the decide benchmark.
+type decideVariant struct {
+	path string // "" (default), "rebuild", "incremental" or "serving"
+	prec string // serving precision tier ("" outside the serving path)
+	mk   func(agent *core.Agent) *core.Policy
+}
+
+// decideVariants enumerates the benched pipelines: the default policy
+// (unlabeled legacy row), the full-rebuild oracle, and the serving engine at
+// every precision tier. The default row and serving/float64 decide
+// bit-identically to rebuild/float64 (see the core equivalence tests) — the
+// rows differ only in speed.
+func decideVariants() []decideVariant {
+	return []decideVariant{
+		{"", "", core.NewPolicy},
+		{"rebuild", "float64", func(a *core.Agent) *core.Policy {
+			p := core.NewPolicy(a)
+			p.DisableIncrementalState()
+			p.DisableDecisionMemo()
+			p.DisableServingEngine()
+			return p
+		}},
+		{"serving", "float64", func(a *core.Agent) *core.Policy { return core.NewServingPolicy(a, core.PrecisionFloat64) }},
+		{"serving", "float32", func(a *core.Agent) *core.Policy { return core.NewServingPolicy(a, core.PrecisionFloat32) }},
+		{"serving", "int8", func(a *core.Agent) *core.Policy { return core.NewServingPolicy(a, core.PrecisionInt8) }},
+	}
+}
+
+// benchDecide measures single scheduling decisions on the given pipeline over
+// full Cholesky episodes — the serve hot path.
+func benchDecide(T int, v decideVariant) decideResult {
 	spec := exp.DefaultAgentSpec(taskgraph.Cholesky, T, 2, 2)
 	agent := core.NewAgent(spec.AgentConfig())
 	problem := spec.Problem()
-	pol := core.NewPolicy(agent)
+	pol := v.mk(agent)
 	rng := rand.New(rand.NewSource(1))
 	if _, err := problem.Simulate(pol, rng); err != nil {
 		log.Fatalf("bench decide: %v", err)
@@ -306,6 +383,8 @@ func benchDecide(T int) decideResult {
 	return decideResult{
 		Kind:            "cholesky",
 		T:               T,
+		Path:            v.path,
+		Precision:       v.prec,
 		DecisionsPerSec: 1e9 / float64(nsPerDecision),
 		NsPerDecision:   nsPerDecision,
 		AllocsPerOp:     res.AllocsPerOp() / int64(decisions),
@@ -339,6 +418,9 @@ func benchStream(jobs int) []streamResult {
 		{"mct", func() sim.Policy { return sched.MCTPolicy{} }},
 		{"heft-per-job", func() sim.Policy { return stream.NewHEFTPerJobPolicy() }},
 		{"readys", func() sim.Policy { return core.NewPolicy(agent) }},
+		// The stream row is GCN-bound, so the reduced serving tier shows up
+		// directly in jobs/sec; float64 above is already bit-identical serving.
+		{"readys-int8", func() sim.Policy { return core.NewServingPolicy(agent, core.PrecisionInt8) }},
 	}
 	out := make([]streamResult, 0, len(cases))
 	for _, c := range cases {

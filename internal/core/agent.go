@@ -183,16 +183,7 @@ func (a *Agent) Forward(es *EncodedState) *Forward {
 
 // Sample draws an action index from the policy distribution.
 func (f *Forward) Sample(rng *rand.Rand) int {
-	u := rng.Float64()
-	var cum float64
-	last := f.NumActions - 1
-	for i := 0; i < f.NumActions; i++ {
-		cum += math.Exp(f.LogProbs.Value.Data[i])
-		if u < cum {
-			return i
-		}
-	}
-	return last
+	return sampleLogProbs(rng, f.LogProbs.Value.Data[:f.NumActions])
 }
 
 // SampleTemperature draws an action from the distribution sharpened by the
@@ -201,37 +192,62 @@ func (f *Forward) Sample(rng *rand.Rand) int {
 // escaping the rare degenerate argmax loops (a policy whose mode is ∅ in
 // some recurring state would otherwise idle forever on it).
 func (f *Forward) SampleTemperature(rng *rand.Rand, tau float64) int {
+	return sampleTemperatureLogProbs(rng, f.LogProbs.Value.Data[:f.NumActions], tau)
+}
+
+// Argmax returns the most probable action index.
+func (f *Forward) Argmax() int {
+	return argmaxLogProbs(f.LogProbs.Value.Data[:f.NumActions])
+}
+
+// sampleLogProbs draws an index from a log-probability vector, consuming
+// exactly one rng value.
+func sampleLogProbs(rng *rand.Rand, logProbs []float64) int {
+	u := rng.Float64()
+	var cum float64
+	for i, lp := range logProbs {
+		cum += math.Exp(lp)
+		if u < cum {
+			return i
+		}
+	}
+	return len(logProbs) - 1
+}
+
+// sampleTemperatureLogProbs draws an index from the temperature-sharpened
+// distribution pᵢ ∝ exp(log πᵢ/τ), consuming one rng value (none for τ ≤ 0).
+func sampleTemperatureLogProbs(rng *rand.Rand, logProbs []float64, tau float64) int {
 	if tau <= 0 {
-		return f.Argmax()
+		return argmaxLogProbs(logProbs)
 	}
 	maxv := math.Inf(-1)
-	for i := 0; i < f.NumActions; i++ {
-		if v := f.LogProbs.Value.Data[i] / tau; v > maxv {
+	for _, lp := range logProbs {
+		if v := lp / tau; v > maxv {
 			maxv = v
 		}
 	}
 	var z float64
-	w := make([]float64, f.NumActions)
-	for i := 0; i < f.NumActions; i++ {
-		w[i] = math.Exp(f.LogProbs.Value.Data[i]/tau - maxv)
+	w := make([]float64, len(logProbs))
+	for i, lp := range logProbs {
+		w[i] = math.Exp(lp/tau - maxv)
 		z += w[i]
 	}
 	u := rng.Float64() * z
 	var cum float64
-	for i := 0; i < f.NumActions; i++ {
+	for i := range w {
 		cum += w[i]
 		if u < cum {
 			return i
 		}
 	}
-	return f.NumActions - 1
+	return len(logProbs) - 1
 }
 
-// Argmax returns the most probable action index.
-func (f *Forward) Argmax() int {
+// argmaxLogProbs returns the index of the largest entry (first wins on ties).
+func argmaxLogProbs(logProbs []float64) int {
 	best, bestV := 0, math.Inf(-1)
-	for i := 0; i < f.NumActions; i++ {
-		if v := f.LogProbs.Value.Data[i]; v > bestV {
+	for i, v := range logProbs {
+		if v > bestV {
 			best, bestV = i, v
 		}
 	}

@@ -170,11 +170,53 @@ func EncodeFault(s *sim.State, resource int, F [][taskgraph.NumKernels]float64, 
 	procWidth := ProcFeatureWidth(faultFeatures)
 
 	proc := tensor.New(1, procWidth)
-	curType := s.Platform.Resources[resource].Type
-	if curType == platform.CPU {
-		proc.Data[procIsCPU] = 1
+	fillProcVector(s, resource, maxE, len(nodes), faultFeatures, proc.Data)
+
+	// The ∅ action is legal unless the engine is in a forced round: when
+	// nothing is running and every resource idled, someone must act or time
+	// cannot advance.
+	x := tensor.New(len(nodes), numTaskFeatures+procWidth)
+	es := &EncodedState{Nodes: nodes, X: x, Proc: proc, AllowIdle: !s.MustAct}
+	for row, t := range nodes {
+		rf := x.Row(row)
+		fillStaticTaskFeatures(s, t, F, maxE, rf)
+		if fillDynamicTaskFeatures(s, t, maxE, rf) {
+			es.ReadyRows = append(es.ReadyRows, row)
+			es.ReadyTasks = append(es.ReadyTasks, t)
+		}
+		copy(rf[numTaskFeatures:], proc.Data)
+	}
+
+	// Induced sub-DAG adjacency, symmetrically normalised for the GCN.
+	succ := make([][]int, len(nodes))
+	for row, t := range nodes {
+		for _, j := range g.Succ[t] {
+			if jr, ok := rowOf[j]; ok {
+				succ[row] = append(succ[row], jr)
+			}
+		}
+	}
+	if directed {
+		es.Norm = nn.DirectedNormalizedAdjacency(len(nodes), succ)
 	} else {
-		proc.Data[procIsGPU] = 1
+		es.Norm = nn.NormalizedAdjacency(len(nodes), succ)
+	}
+	return es
+}
+
+// fillProcVector fills the resource-context vector for a decision on the
+// given resource. data must have length ProcFeatureWidth(faultFeatures) and is
+// zeroed first, so the same buffer can be reused across decisions. It is the
+// single implementation shared by the full rebuild (EncodeFault) and the
+// incremental encoder — sharing is what makes the two paths bit-identical.
+func fillProcVector(s *sim.State, resource int, maxE float64, numNodes int, faultFeatures bool, data []float64) {
+	for i := range data {
+		data[i] = 0
+	}
+	if s.Platform.Resources[resource].Type == platform.CPU {
+		data[procIsCPU] = 1
+	} else {
+		data[procIsGPU] = 1
 	}
 	var freeCPU, freeGPU, numCPU, numGPU int
 	waitCPU, waitGPU := math.Inf(1), math.Inf(1)
@@ -199,15 +241,15 @@ func EncodeFault(s *sim.State, resource int, F [][taskgraph.NumKernels]float64, 
 		}
 	}
 	if numCPU > 0 {
-		proc.Data[procFreeCPU] = float64(freeCPU) / float64(numCPU)
-		proc.Data[procWaitCPU] = waitCPU / maxE
+		data[procFreeCPU] = float64(freeCPU) / float64(numCPU)
+		data[procWaitCPU] = waitCPU / maxE
 	}
 	if numGPU > 0 {
-		proc.Data[procFreeGPU] = float64(freeGPU) / float64(numGPU)
-		proc.Data[procWaitGPU] = waitGPU / maxE
+		data[procFreeGPU] = float64(freeGPU) / float64(numGPU)
+		data[procWaitGPU] = waitGPU / maxE
 	}
-	if len(nodes) > 0 {
-		proc.Data[procReadyCnt] = float64(len(s.Ready)) / float64(len(nodes))
+	if numNodes > 0 {
+		data[procReadyCnt] = float64(len(s.Ready)) / float64(numNodes)
 	}
 	if faultFeatures {
 		var up int
@@ -216,61 +258,51 @@ func EncodeFault(s *sim.State, resource int, F [][taskgraph.NumKernels]float64, 
 				up++
 			}
 		}
-		proc.Data[procUpFrac] = float64(up) / float64(s.Platform.Size())
-		proc.Data[procSpeed] = clamp01(s.SpeedFactor(resource) / speedNorm)
-		proc.Data[procFaultEpoch] = float64(s.FaultEpoch) / (float64(s.FaultEpoch) + faultEpochNorm)
+		data[procUpFrac] = float64(up) / float64(s.Platform.Size())
+		data[procSpeed] = clamp01(s.SpeedFactor(resource) / speedNorm)
+		data[procFaultEpoch] = float64(s.FaultEpoch) / (float64(s.FaultEpoch) + faultEpochNorm)
 	}
+}
 
-	// The ∅ action is legal unless the engine is in a forced round: when
-	// nothing is running and every resource idled, someone must act or time
-	// cannot advance.
-	x := tensor.New(len(nodes), numTaskFeatures+procWidth)
-	es := &EncodedState{Nodes: nodes, X: x, Proc: proc, AllowIdle: !s.MustAct}
-	for row, t := range nodes {
-		task := g.Tasks[t]
-		rf := x.Row(row)
-		rf[featSucc] = clamp01(float64(len(g.Succ[t])) / degreeNorm)
-		rf[featPred] = clamp01(float64(len(g.Pred[t])) / degreeNorm)
-		rf[featType0+int(task.Kernel)] = 1
-		if s.Started[t] && !s.Done[t] {
-			rf[featRunning] = 1
-			r := s.AssignedTo[t]
-			// Speed-aware under fault injection (exact multiply by 1 without).
-			e := s.EstTaskDuration(t, r)
-			rem := s.StartTime[t] + e - s.Now
-			if rem < 0 {
-				rem = 0
-			}
-			rf[featRemaining] = rem / maxE
-		} else if s.PredLeft[t] == 0 && !s.Started[t] {
-			rf[featReady] = 1
-			es.ReadyRows = append(es.ReadyRows, row)
-			es.ReadyTasks = append(es.ReadyTasks, t)
-		}
-		for k := 0; k < taskgraph.NumKernels; k++ {
-			rf[featF0+k] = F[t][k]
-		}
-		tt := s.TaskTiming(t)
-		rf[featDurCPU] = tt.ExpectedDuration(task.Kernel, platform.CPU) / maxE
-		rf[featDurGPU] = tt.ExpectedDuration(task.Kernel, platform.GPU) / maxE
-		copy(rf[numTaskFeatures:], proc.Data)
+// fillStaticTaskFeatures fills the columns of rf that change only when the
+// graph itself changes (GraphEpoch): degrees, kernel one-hot, descendant
+// summary, and expected durations. rf must be zeroed beforehand.
+func fillStaticTaskFeatures(s *sim.State, t int, F [][taskgraph.NumKernels]float64, maxE float64, rf []float64) {
+	g := s.Graph
+	task := g.Tasks[t]
+	rf[featSucc] = clamp01(float64(len(g.Succ[t])) / degreeNorm)
+	rf[featPred] = clamp01(float64(len(g.Pred[t])) / degreeNorm)
+	rf[featType0+int(task.Kernel)] = 1
+	for k := 0; k < taskgraph.NumKernels; k++ {
+		rf[featF0+k] = F[t][k]
 	}
+	tt := s.TaskTiming(t)
+	rf[featDurCPU] = tt.ExpectedDuration(task.Kernel, platform.CPU) / maxE
+	rf[featDurGPU] = tt.ExpectedDuration(task.Kernel, platform.GPU) / maxE
+}
 
-	// Induced sub-DAG adjacency, symmetrically normalised for the GCN.
-	succ := make([][]int, len(nodes))
-	for row, t := range nodes {
-		for _, j := range g.Succ[t] {
-			if jr, ok := rowOf[j]; ok {
-				succ[row] = append(succ[row], jr)
-			}
+// fillDynamicTaskFeatures overwrites the decision-varying columns of rf
+// (ready/running/remaining) and reports whether the task is ready — i.e.
+// whether it is a candidate action of this decision.
+func fillDynamicTaskFeatures(s *sim.State, t int, maxE float64, rf []float64) bool {
+	rf[featReady], rf[featRunning], rf[featRemaining] = 0, 0, 0
+	if s.Started[t] && !s.Done[t] {
+		rf[featRunning] = 1
+		r := s.AssignedTo[t]
+		// Speed-aware under fault injection (exact multiply by 1 without).
+		e := s.EstTaskDuration(t, r)
+		rem := s.StartTime[t] + e - s.Now
+		if rem < 0 {
+			rem = 0
 		}
+		rf[featRemaining] = rem / maxE
+		return false
 	}
-	if directed {
-		es.Norm = nn.DirectedNormalizedAdjacency(len(nodes), succ)
-	} else {
-		es.Norm = nn.NormalizedAdjacency(len(nodes), succ)
+	if s.PredLeft[t] == 0 && !s.Started[t] {
+		rf[featReady] = 1
+		return true
 	}
-	return es
+	return false
 }
 
 func clamp01(v float64) float64 {

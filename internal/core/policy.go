@@ -1,12 +1,14 @@
 package core
 
 import (
+	"math"
 	"math/rand"
 	"strconv"
 	"time"
 
 	"readys/internal/autograd"
 	"readys/internal/nn"
+	"readys/internal/platform"
 	"readys/internal/sim"
 	"readys/internal/taskgraph"
 )
@@ -50,23 +52,113 @@ type Policy struct {
 	InferenceCount int
 
 	feats [][taskgraph.NumKernels]float64
+
+	// inc maintains the decision state incrementally on the non-recording
+	// path; nil falls back to EncodeFault on every decision. engine, when set,
+	// replaces the tape forward with the serving engine at prec.
+	inc    *incrementalEncoder
+	engine *serveEngine
+	prec   Precision
+	memo   map[memoKey]memoVal
+	noMemo bool
 }
 
-// NewPolicy returns an evaluation-mode (greedy) policy for the agent.
+// memoKey identifies a decision state up to forward-pass equivalence: within
+// one (NumDone, FaultEpoch, GraphEpoch) version, task starts are the only
+// mutations and they move exactly one task from Ready to Running, so the
+// counts pin the window contents; Now and the asking resource's type and
+// speed pin the remaining features. Two decisions with equal keys see
+// bit-identical EncodedStates and hence identical log-probabilities.
+type memoKey struct {
+	numDone, faultEpoch, graphEpoch int
+	numRunning, numReady            int
+	nowBits, speedBits              uint64
+	isCPU, allowIdle                bool
+}
+
+type memoVal struct {
+	logProbs []float64
+	idleIdx  int
+}
+
+// NewPolicy returns an evaluation-mode (greedy) policy for the agent. The
+// decision state is maintained incrementally and the forward pass runs on the
+// allocation-free float64 serving engine — both bit-identical to the full
+// rebuild + tape path (see the equivalence tests) and individually revertible
+// via DisableIncrementalState / DisableServingEngine. The DenseProp ablation
+// keeps the tape forward (the engine only implements the sparse hot path).
 func NewPolicy(agent *Agent) *Policy {
-	return &Policy{Agent: agent, Greedy: true}
+	p := &Policy{Agent: agent, Greedy: true}
+	p.inc = newIncrementalEncoder(agent.Cfg.Window, agent.Cfg.Directed, agent.Cfg.FaultFeatures)
+	if !agent.Cfg.DenseProp {
+		p.engine = newServeEngine(agent, PrecisionFloat64)
+	}
+	return p
+}
+
+// NewServingPolicy returns a greedy policy that evaluates the network on the
+// allocation-free serving engine at the given precision instead of the
+// autograd tape. PrecisionFloat64 decides bit-identically to NewPolicy;
+// float32/int8 trade bounded decision divergence for latency. Serving
+// policies cannot record training steps.
+func NewServingPolicy(agent *Agent, prec Precision) *Policy {
+	p := NewPolicy(agent)
+	p.EnableServing(prec)
+	return p
 }
 
 // NewTrainingPolicy returns a sampling, recording policy for the agent.
+// Training always runs the float64 tape path with full state rebuilds.
 func NewTrainingPolicy(agent *Agent, rng *rand.Rand) *Policy {
 	return &Policy{Agent: agent, Rng: rng, Record: true}
 }
 
+// EnableServing switches the policy's forward pass to the serving engine at
+// the given precision. Panics if the policy records training steps — the
+// reduced-precision path must never feed the trainer — or if the agent uses
+// the DenseProp ablation (which keeps the tape forward).
+func (p *Policy) EnableServing(prec Precision) {
+	if p.Record {
+		panic("core: serving precision on a recording (training) policy")
+	}
+	p.engine = newServeEngine(p.Agent, prec)
+	p.prec = prec
+}
+
+// DisableIncrementalState forces a full EncodeFault rebuild on every decision
+// (the incremental path's oracle; also what training uses).
+func (p *Policy) DisableIncrementalState() { p.inc = nil }
+
+// DisableDecisionMemo turns off within-round forward memoization.
+func (p *Policy) DisableDecisionMemo() { p.noMemo = true }
+
+// DisableServingEngine reverts the forward pass to the autograd tape.
+// Combined with DisableIncrementalState and DisableDecisionMemo this
+// reproduces the pre-optimization decision path exactly — the oracle
+// configuration for equivalence tests and benchmarks.
+func (p *Policy) DisableServingEngine() { p.engine = nil }
+
+// IncrementalStats reports the incremental encoder's work counters (zero
+// value when the incremental path is disabled).
+func (p *Policy) IncrementalStats() IncrementalStats {
+	if p.inc == nil {
+		return IncrementalStats{}
+	}
+	return p.inc.stats
+}
+
 // Reset implements sim.Policy: it precomputes the DAG's descendant features
-// and clears the episode recording.
+// and clears the episode recording, the incremental state, and the decision
+// memo.
 func (p *Policy) Reset(s *sim.State) {
 	p.feats = taskgraph.DescendantFeatures(s.Graph)
 	p.Steps = p.Steps[:0]
+	if p.inc != nil {
+		p.inc.reset()
+	}
+	for k := range p.memo {
+		delete(p.memo, k)
+	}
 }
 
 // Decide implements sim.Policy.
@@ -77,6 +169,89 @@ func (p *Policy) Decide(s *sim.State, r int) int {
 		// take this branch after Reset.
 		p.feats = taskgraph.DescendantFeatures(s.Graph)
 	}
+	if p.Record {
+		if p.engine != nil {
+			panic("core: serving precision on a recording (training) policy")
+		}
+		return p.decideTape(s, r)
+	}
+
+	var es *EncodedState
+	if p.inc != nil {
+		es = p.inc.Encode(s, r, p.feats)
+	} else {
+		es = EncodeFault(s, r, p.feats, p.Agent.Cfg.Window, p.Agent.Cfg.Directed, p.Agent.Cfg.FaultFeatures)
+	}
+	if p.DisableIdle {
+		es.AllowIdle = false
+	}
+
+	var key memoKey
+	if !p.noMemo {
+		key = memoKey{
+			numDone:    s.NumDone,
+			faultEpoch: s.FaultEpoch,
+			graphEpoch: s.GraphEpoch,
+			numRunning: len(s.Running),
+			numReady:   len(s.Ready),
+			nowBits:    math.Float64bits(s.Now),
+			speedBits:  math.Float64bits(s.SpeedFactor(r)),
+			isCPU:      s.Platform.Resources[r].Type == platform.CPU,
+			allowIdle:  es.AllowIdle,
+		}
+		if v, ok := p.memo[key]; ok {
+			p.InferenceCount++
+			return p.act(es, v.logProbs, v.idleIdx)
+		}
+	}
+
+	start := time.Now()
+	var logProbs []float64
+	var idleIdx int
+	if p.engine != nil {
+		logProbs, idleIdx = p.engine.forward(es)
+	} else {
+		fw := p.Agent.Forward(es)
+		logProbs = fw.LogProbs.Value.Data[:fw.NumActions]
+		idleIdx = fw.IdleIndex
+		// Copy out of the tape before releasing its buffers to the pool.
+		logProbs = append([]float64(nil), logProbs...)
+		fw.Binding.Release()
+	}
+	p.InferenceTime += time.Since(start)
+	p.InferenceCount++
+
+	if p.noMemo {
+		return p.act(es, logProbs, idleIdx)
+	}
+	if p.memo == nil {
+		p.memo = make(map[memoKey]memoVal)
+	}
+	stored := append([]float64(nil), logProbs...)
+	p.memo[key] = memoVal{logProbs: stored, idleIdx: idleIdx}
+	return p.act(es, stored, idleIdx)
+}
+
+// act picks an action from the log-probabilities and maps it to a task.
+func (p *Policy) act(es *EncodedState, logProbs []float64, idleIdx int) int {
+	var action int
+	switch {
+	case p.Greedy:
+		action = argmaxLogProbs(logProbs)
+	case p.Temperature > 0:
+		action = sampleTemperatureLogProbs(p.Rng, logProbs, p.Temperature)
+	default:
+		action = sampleLogProbs(p.Rng, logProbs)
+	}
+	if action == idleIdx && idleIdx >= 0 {
+		return sim.NoTask
+	}
+	return es.ReadyTasks[action]
+}
+
+// decideTape is the original tape-forward path used for training: the full
+// EncodeFault rebuild, the autograd forward, and step recording.
+func (p *Policy) decideTape(s *sim.State, r int) int {
 	es := EncodeFault(s, r, p.feats, p.Agent.Cfg.Window, p.Agent.Cfg.Directed, p.Agent.Cfg.FaultFeatures)
 	if p.DisableIdle {
 		es.AllowIdle = false
@@ -96,14 +271,7 @@ func (p *Policy) Decide(s *sim.State, r int) int {
 		action = fw.Sample(p.Rng)
 	}
 	idleIdx := fw.IdleIndex
-	if p.Record {
-		p.Steps = append(p.Steps, Step{State: es, Forward: fw, Action: action})
-	} else {
-		// Nothing will revisit this decision: hand the tape's scratch
-		// buffers straight back to the pool (serving and greedy evaluation
-		// run allocation-free at steady state).
-		fw.Binding.Release()
-	}
+	p.Steps = append(p.Steps, Step{State: es, Forward: fw, Action: action})
 	if action == idleIdx && idleIdx >= 0 {
 		return sim.NoTask
 	}

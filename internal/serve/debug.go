@@ -77,6 +77,7 @@ func (p tracedPolicy) Reset(st *sim.State) { p.inner.Reset(st) }
 func (p tracedPolicy) Decide(st *sim.State, r int) int {
 	start := time.Now()
 	task := p.inner.Decide(st, r)
+	p.srv.metrics.ObserveDecide(time.Since(start))
 	p.srv.span("decide", "inference", p.tid, start, childArgs(p.sc, map[string]any{"resource": r, "task": task}))
 	return task
 }

@@ -14,6 +14,13 @@ import (
 // (sub-millisecond model access, tens of ms of simulation on larger DAGs).
 var latencyBucketsMS = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
 
+// decideBucketsUS are the upper bounds (in microseconds) of the per-decision
+// inference latency histogram. The serving hot path targets sub-100µs
+// decisions, so the resolution is concentrated there: the 5–100µs buckets
+// separate the incremental/quantized tiers, the tail catches cold starts and
+// full rebuilds.
+var decideBucketsUS = []float64{5, 10, 25, 50, 100, 250, 1000, 10000}
+
 // Metrics is the service's counter set, backed by the shared obs registry.
 // GET /metrics serves it as JSON (the historical expvar-style tree) or, with
 // ?format=prometheus, as Prometheus text exposition. All methods are safe
@@ -25,6 +32,7 @@ type Metrics struct {
 	requests *obs.CounterVec
 	errors   *obs.CounterVec
 	latency  *obs.HistogramVec
+	decide   *obs.Histogram
 
 	inflight  *obs.Gauge
 	rejected  *obs.Counter // 503s from a full queue
@@ -42,6 +50,7 @@ func NewMetrics() *Metrics {
 		requests:  reg.CounterVec("readys_http_requests_total", "HTTP requests by endpoint.", "endpoint"),
 		errors:    reg.CounterVec("readys_http_errors_total", "HTTP responses with status >= 400 by endpoint.", "endpoint"),
 		latency:   reg.HistogramVec("readys_http_latency_ms", "Request latency in milliseconds by endpoint.", latencyBucketsMS, "endpoint"),
+		decide:    reg.Histogram("readys_decide_latency_us", "Per-decision inference latency in microseconds.", decideBucketsUS),
 		inflight:  reg.Gauge("readys_http_inflight", "Requests currently being handled."),
 		rejected:  reg.Counter("readys_rejected_busy_total", "Backpressure rejections from a full queue (503)."),
 		timeouts:  reg.Counter("readys_request_timeouts_total", "Requests that exceeded the server-side deadline."),
@@ -73,6 +82,11 @@ func (m *Metrics) Observe(endpoint string, d time.Duration, isError bool) {
 		e.Inc()
 	}
 	m.latency.With(endpoint).Observe(float64(d) / float64(time.Millisecond))
+}
+
+// ObserveDecide records the wall-clock latency of one scheduling decision.
+func (m *Metrics) ObserveDecide(d time.Duration) {
+	m.decide.Observe(float64(d) / float64(time.Microsecond))
 }
 
 // IncInflight / DecInflight track requests currently being handled.

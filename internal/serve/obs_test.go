@@ -80,6 +80,17 @@ func TestMetricsPrometheusFormat(t *testing.T) {
 		"readys_model_cache_resident 1",
 		"readys_pool_queued 0",
 		"# TYPE readys_http_latency_ms histogram",
+		// Per-decision inference latency: the sub-100µs serving buckets must
+		// exist, and every decision of the schedule request must be counted.
+		"# TYPE readys_decide_latency_us histogram",
+		`readys_decide_latency_us_bucket{le="5"} `,
+		`readys_decide_latency_us_bucket{le="10"} `,
+		`readys_decide_latency_us_bucket{le="25"} `,
+		`readys_decide_latency_us_bucket{le="50"} `,
+		`readys_decide_latency_us_bucket{le="100"} `,
+		`readys_decide_latency_us_bucket{le="250"} `,
+		`readys_decide_latency_us_bucket{le="1000"} `,
+		`readys_decide_latency_us_bucket{le="10000"} `,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("exposition missing %q", want)

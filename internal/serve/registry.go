@@ -60,6 +60,12 @@ type Registry struct {
 	hits    uint64
 	misses  uint64
 	evicted uint64
+
+	// defaultPrec is the serving precision for models without a per-model
+	// override; prec holds the overrides keyed by cache key. The zero value
+	// (PrecisionFloat64) serves bit-identically to the training-path policy.
+	defaultPrec core.Precision
+	prec        map[string]core.Precision
 }
 
 // model is one resident checkpoint.
@@ -81,10 +87,15 @@ type Lease struct {
 	registry *Registry
 	model    *model
 	agent    *core.Agent
+	prec     core.Precision
 }
 
 // Agent returns the leased inference instance.
 func (l *Lease) Agent() *core.Agent { return l.agent }
+
+// Precision returns the serving precision the lease's rollouts should run at
+// (the model's override, else the registry default).
+func (l *Lease) Precision() core.Precision { return l.prec }
 
 // ModelName returns the canonical name of the model backing the lease.
 func (l *Lease) ModelName() string { return l.model.name }
@@ -127,6 +138,42 @@ func NewRegistry(dir string, maxModels, maxIdleClones int) *Registry {
 	}
 }
 
+// SetDefaultPrecision sets the serving precision used for every model without
+// a per-model override (readys-serve -precision). Affects leases acquired
+// after the call; in-flight leases keep the precision they were issued with.
+func (r *Registry) SetDefaultPrecision(p core.Precision) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.defaultPrec = p
+}
+
+// SetPrecision overrides the serving precision for the problem combination
+// the named checkpoint serves (base as accepted by Invalidate). Returns false
+// when the name does not parse as a canonical model name.
+func (r *Registry) SetPrecision(base string, p core.Precision) bool {
+	spec, ok := ParseModelName(base)
+	if !ok {
+		return false
+	}
+	key := cacheKey(spec.Kind, spec.T, spec.NumCPU, spec.NumGPU)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.prec == nil {
+		r.prec = make(map[string]core.Precision)
+	}
+	r.prec[key] = p
+	return true
+}
+
+// precLocked resolves the serving precision for a cache key; callers hold
+// r.mu.
+func (r *Registry) precLocked(key string) core.Precision {
+	if p, ok := r.prec[key]; ok {
+		return p
+	}
+	return r.defaultPrec
+}
+
 // cacheKey is the registry's cache key: the problem combination a model was
 // trained for, independent of its architecture. It doubles as the canonical
 // file-name prefix of the combination's checkpoints.
@@ -166,13 +213,14 @@ func (r *Registry) Acquire(kind taskgraph.Kind, T, cpus, gpus int) (lease *Lease
 		r.hits++
 		agent := m.popFreeLocked()
 		master := m.master
+		prec := r.precLocked(name)
 		r.mu.Unlock()
 		if agent == nil {
 			// Clone outside the lock: parameter copies are the expensive
 			// part, and the master's values are immutable once loaded.
 			agent = master.Clone()
 		}
-		return &Lease{registry: r, model: m, agent: agent}, true, nil
+		return &Lease{registry: r, model: m, agent: agent, prec: prec}, true, nil
 	}
 	r.misses++
 	r.mu.Unlock()
@@ -200,11 +248,12 @@ func (r *Registry) Acquire(kind taskgraph.Kind, T, cpus, gpus int) (lease *Lease
 		r.lru.MoveToFront(el)
 		m := el.Value.(*model)
 		agent := m.popFreeLocked()
+		prec := r.precLocked(name)
 		r.mu.Unlock()
 		if agent == nil {
 			agent = m.master.Clone()
 		}
-		return &Lease{registry: r, model: m, agent: agent}, true, nil
+		return &Lease{registry: r, model: m, agent: agent, prec: prec}, true, nil
 	}
 	m := &model{key: name, name: spec.Name(), spec: spec, meta: meta, master: master, live: true}
 	r.byName[name] = r.lru.PushFront(m)
@@ -217,10 +266,11 @@ func (r *Registry) Acquire(kind taskgraph.Kind, T, cpus, gpus int) (lease *Lease
 		delete(r.byName, victim.key)
 		r.evicted++
 	}
+	prec := r.precLocked(name)
 	r.mu.Unlock()
 	// The first lease uses its own clone so the master's parameters stay a
 	// pristine copy of the checkpoint.
-	return &Lease{registry: r, model: m, agent: master.Clone()}, false, nil
+	return &Lease{registry: r, model: m, agent: master.Clone(), prec: prec}, false, nil
 }
 
 // popFreeLocked pops an idle clone; callers hold r.mu.

@@ -45,6 +45,12 @@ type Config struct {
 	// default). Only the most recent window is kept, so tracing is always on
 	// and bounded.
 	TraceEvents int
+	// Precision is the default serving precision for rollouts
+	// (readys-serve -precision). The zero value, core.PrecisionFloat64,
+	// schedules bit-identically to the training-path policy; float32/int8
+	// trade bounded decision divergence for latency. Per-model overrides go
+	// through Registry.SetPrecision.
+	Precision core.Precision
 }
 
 // DefaultConfig returns production-shaped defaults sized to the host.
@@ -109,6 +115,7 @@ func New(cfg Config) *Server {
 		tracer:   obs.NewTracer(cfg.TraceEvents),
 		build:    obs.ReadBuildInfo(),
 	}
+	s.registry.SetDefaultPrecision(cfg.Precision)
 	s.tracer.NameProcess(servePID, "readys-serve")
 	registerComponentGauges(s.metrics.Registry(), s.registry, s.pool)
 	s.mux.HandleFunc("/v1/schedule", s.instrument("schedule", s.handleSchedule))
@@ -318,7 +325,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 // recorded as spans on the request's trace lane.
 func (s *Server) runSchedule(req *ScheduleRequest, prob core.Problem, lease *Lease, cacheHit bool, rid int64, sc obs.SpanContext) (ScheduleResponse, error) {
 	start := time.Now()
-	pol := tracedPolicy{inner: core.NewPolicy(lease.Agent()), srv: s, tid: rid, sc: sc}
+	pol := tracedPolicy{inner: core.NewServingPolicy(lease.Agent(), lease.Precision()), srv: s, tid: rid, sc: sc}
 	res, err := prob.Simulate(pol, rand.New(rand.NewSource(req.Seed)))
 	s.span("rollout", "sim", rid, start, childArgs(sc, map[string]any{"tasks": prob.Graph.NumTasks(), "decisions": res.Decisions}))
 	if err != nil {

@@ -202,3 +202,43 @@ func TestStreamJobMetricsAgainstTrace(t *testing.T) {
 		}
 	}
 }
+
+// TestStreamIncrementalIdentical pins the incremental decision state against
+// its full-rebuild oracle across streaming arrivals: Cluster.AddJob bumps the
+// graph epoch mid-episode, so every cache layer (window, adjacency, static
+// features, decision memo) must invalidate correctly. The default policy
+// (incremental + memo) and the serving engine at float64 must fingerprint
+// identically to the pre-optimization path (full EncodeFault rebuild, tape
+// forward, no memo), with and without fault plans.
+func TestStreamIncrementalIdentical(t *testing.T) {
+	agent := core.NewAgent(core.Config{Window: 1, Layers: 1, Hidden: 8, Seed: 4})
+	faultAgent := core.NewAgent(core.Config{Window: 1, Layers: 1, Hidden: 8, Seed: 4, FaultFeatures: true})
+	variants := map[string]func(a *core.Agent) sim.Policy{
+		"incremental": func(a *core.Agent) sim.Policy { return core.NewPolicy(a) },
+		"serving-f64": func(a *core.Agent) sim.Policy { return core.NewServingPolicy(a, core.PrecisionFloat64) },
+	}
+	for i := 0; i < 6; i++ {
+		seed := int64(5000 + i)
+		arr := testArrivals(t, seed, 5, 2.5)
+		horizon := arr[len(arr)-1].At + 3000
+		for fi, faults := range []*sim.FaultPlan{nil, sim.GeneratePlan(seed, 4, sim.SpecForRate(1.0, horizon))} {
+			for _, ag := range []*core.Agent{agent, faultAgent} {
+				oracle := runStream(t, func() sim.Policy {
+					p := core.NewPolicy(ag)
+					p.DisableIncrementalState()
+					p.DisableDecisionMemo()
+					p.DisableServingEngine()
+					return p
+				}, arr, seed, faults)
+				want := fingerprint(oracle)
+				for name, mk := range variants {
+					got := runStream(t, func() sim.Policy { return mk(ag) }, arr, seed, faults)
+					if g := fingerprint(got); g != want {
+						t.Fatalf("stream %d faults=%d ff=%v %s diverged from rebuild oracle:\n%s\nvs\n%s",
+							i, fi, ag.Cfg.FaultFeatures, name, g, want)
+					}
+				}
+			}
+		}
+	}
+}

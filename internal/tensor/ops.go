@@ -62,7 +62,12 @@ func MatMulInto(a, b, out *Matrix) {
 }
 
 // matMulRange computes rows [lo, hi) of out = a*b using an ikj loop order so
-// that the inner loop streams through contiguous rows of b and out.
+// that the inner loop streams through contiguous rows of b and out. Terms with
+// av == 0 are skipped: since every accumulator starts at +0, a partial sum can
+// never be -0 under round-to-nearest, so adding av*brow[j] (which is ±0 when
+// av is ±0 and bv finite) is the identity and skipping it is bit-exact.
+// Non-finite b values never occur here (features, weights, and activations are
+// all finite), and the axpy kernel matches the scalar loop bit for bit.
 func matMulRange(a, b, out *Matrix, lo, hi int) {
 	n, p := a.Cols, b.Cols
 	for i := lo; i < hi; i++ {
@@ -72,10 +77,10 @@ func matMulRange(a, b, out *Matrix, lo, hi int) {
 			orow[j] = 0
 		}
 		for k, av := range arow {
-			brow := b.Data[k*p : (k+1)*p]
-			for j, bv := range brow {
-				orow[j] += av * bv
+			if av == 0 {
+				continue
 			}
+			axpyF64(av, b.Data[k*p:(k+1)*p], orow)
 		}
 	}
 }
@@ -115,10 +120,10 @@ func matMulTransARange(a, b, out *Matrix, lo, hi int) {
 		}
 		for k := 0; k < a.Rows; k++ {
 			av := a.Data[k*n+i]
-			brow := b.Data[k*p : (k+1)*p]
-			for j, bv := range brow {
-				orow[j] += av * bv
+			if av == 0 {
+				continue // bit-exact: see matMulRange
 			}
+			axpyF64(av, b.Data[k*p:(k+1)*p], orow)
 		}
 	}
 }

@@ -186,11 +186,7 @@ func spMMRange(s *Sparse, d, out *Matrix, lo, hi int) {
 			orow[j] = 0
 		}
 		for k := s.RowPtr[i]; k < s.RowPtr[i+1]; k++ {
-			v := s.Val[k]
-			drow := d.Data[s.Col[k]*p : (s.Col[k]+1)*p]
-			for j, dv := range drow {
-				orow[j] += v * dv
-			}
+			axpyF64(s.Val[k], d.Data[s.Col[k]*p:(s.Col[k]+1)*p], orow)
 		}
 	}
 }
@@ -219,11 +215,7 @@ func SpMMTransAInto(s *Sparse, g, out *Matrix) {
 	for i := 0; i < s.Rows; i++ {
 		grow := g.Data[i*p : (i+1)*p]
 		for k := s.RowPtr[i]; k < s.RowPtr[i+1]; k++ {
-			v := s.Val[k]
-			orow := out.Data[s.Col[k]*p : (s.Col[k]+1)*p]
-			for j, gv := range grow {
-				orow[j] += v * gv
-			}
+			axpyF64(s.Val[k], grow, out.Data[s.Col[k]*p:(s.Col[k]+1)*p])
 		}
 	}
 }
