@@ -2,7 +2,8 @@
 #
 #   make check       — everything a PR must pass: build, vet, tests, decision-
 #                      equivalence gate, race tests, observability smoke test,
-#                      perf-regression gate, fleet smoke test, stream smoke test
+#                      perf-regression gate, fleet, stream and gateway smoke
+#                      tests
 #   make equiv       — decision-equivalence gate: the incremental/serving
 #                      decision paths must match the full-rebuild tape oracle
 #                      (bitwise for float64; bounded divergence for the
@@ -20,6 +21,10 @@
 #                      validation, trace checked by readys-obs-check)
 #   make fleet-smoke — dispatcher + worker end-to-end check (train job,
 #                      artifact verification, train → serve publish)
+#   make gateway-smoke — shard-router end-to-end check: two batch-enabled
+#                      replicas behind readys-gateway, a replica killed under
+#                      concurrent load (failover, identical responses), and
+#                      the client → gateway → replica trace link-validated
 #   make bench       — hot-path benchmark snapshot (writes BENCH_<rev>.json)
 #   make bench-smoke — fast readys-bench sanity run
 #   make bench-compare — perf-regression gate: quick bench diffed against the
@@ -38,9 +43,9 @@ OBS_TMP ?= /tmp/readys-obs-smoke
 BENCH_BASE ?= BENCH_09ca814.json
 BENCH_TOL ?= 0.20
 
-.PHONY: check build vet test equiv race obs-smoke chaos-smoke stream-smoke fleet-smoke bench bench-smoke bench-compare bench-serve serve fleet
+.PHONY: check build vet test equiv race obs-smoke chaos-smoke stream-smoke fleet-smoke gateway-smoke bench bench-smoke bench-compare bench-serve serve fleet gateway
 
-check: build vet test equiv race obs-smoke chaos-smoke stream-smoke fleet-smoke bench-compare
+check: build vet test equiv race obs-smoke chaos-smoke stream-smoke fleet-smoke gateway-smoke bench-compare
 
 build:
 	$(GO) build ./...
@@ -58,16 +63,19 @@ test:
 # tape, quantized-tier divergence bounds, and the training guard. These also
 # run under `make test`; this target is the canonical gate.
 equiv:
-	$(GO) test -run 'TestIncremental|TestServing|TestQuantizedBoundedDivergence' ./internal/core/
+	$(GO) test -run 'TestIncremental|TestServing|TestQuantizedBoundedDivergence|TestBatch' ./internal/core/
 	$(GO) test -run 'TestStreamIncrementalIdentical' ./internal/stream/
+	$(GO) test -run 'TestBatchedServingBitIdentical' ./internal/serve/
 
 # Concurrency-sensitive packages run under the race detector: internal/serve
-# (registry, pool, handlers), internal/core (shared-agent inference),
-# internal/rl (parallel batch rollouts), internal/fleet (dispatcher, leases,
-# workers), internal/sim (fault injection under parallel rollouts), and
-# internal/stream (stream rollouts share agents across workers).
+# (registry, pool, handlers, cross-request batching), internal/core
+# (shared-agent inference, the batch coalescer), internal/rl (parallel batch
+# rollouts), internal/fleet (dispatcher, leases, workers), internal/gateway
+# (health prober, concurrent failover), internal/sim (fault injection under
+# parallel rollouts), and internal/stream (stream rollouts share agents
+# across workers).
 race:
-	$(GO) test -race ./internal/serve/... ./internal/core/... ./internal/rl/... ./internal/fleet/... ./internal/sim/... ./internal/stream/...
+	$(GO) test -race ./internal/serve/... ./internal/core/... ./internal/rl/... ./internal/fleet/... ./internal/gateway/... ./internal/sim/... ./internal/stream/...
 
 # End-to-end observability check. Phase 1 artifacts: train a tiny agent with
 # -telemetry, simulate one DAG with -trace, assert both are valid and
@@ -147,8 +155,30 @@ bench-serve:
 fleet-smoke:
 	$(GO) run ./cmd/readys-fleet -smoke
 
+# End-to-end gateway check: two in-process batch-enabled serve replicas behind
+# readys-gateway. Phase 1 routes a concurrent burst by model hash, phase 2
+# kills the owning replica and requires transparent failover with responses
+# identical to the pre-kill run, phase 3 asserts the survivor actually
+# coalesced batches, phase 4 exports client/gateway/replica span files whose
+# merge must pass cross-process parent-link validation.
+GW_TMP ?= /tmp/readys-gateway-smoke
+gateway-smoke:
+	rm -rf $(GW_TMP) && mkdir -p $(GW_TMP)
+	$(GO) run ./cmd/readys-gateway -smoke -trace-out $(GW_TMP)
+	$(GO) run ./cmd/readys-obs-check -merge $(GW_TMP)/merged.json \
+		$(GW_TMP)/client.json $(GW_TMP)/gateway.json \
+		$(GW_TMP)/replica1.json $(GW_TMP)/replica2.json
+	$(GO) run ./cmd/readys-obs-check -trace $(GW_TMP)/merged.json -links
+	rm -rf $(GW_TMP)
+	@echo gateway-smoke OK
+
 serve:
 	$(GO) run ./cmd/readys-serve -addr :8080 -models models
 
 fleet:
 	$(GO) run ./cmd/readys-fleet -addr :9090 -dir fleet -publish models
+
+# Front two local replicas started by hand, e.g.
+#   make serve & $(GO) run ./cmd/readys-serve -addr :8081 -models models -batch &
+gateway:
+	$(GO) run ./cmd/readys-gateway -addr :8090 -replicas http://127.0.0.1:8080,http://127.0.0.1:8081

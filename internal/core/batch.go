@@ -1,0 +1,608 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"readys/internal/nn"
+	"readys/internal/tensor"
+)
+
+// Batcher coalesces concurrent serving-path forwards on one agent into a
+// single row-batched pass through the serving kernels. Concurrent
+// /v1/schedule rollouts (or bench clients) submit their encoded states via
+// Forward; the batcher stacks up to MaxWidth states and runs one batched
+// forward for all of them.
+//
+// Why this is profitable even on one core: a batch of B states multiplies the
+// weight matrices once over Σnᵢ stacked rows instead of B times over nᵢ rows
+// each, so every weight matrix is streamed through the cache once per batch
+// instead of once per request, and the per-forward call/scratch overhead is
+// paid once. The GCN propagation stays per-state (a block-diagonal SpMM has no
+// cross-state work to amortise) but writes into segments of the stacked
+// activations so the dense products around it batch.
+//
+// Flush policy, in order of precedence:
+//
+//  1. width: the pending batch reached MaxWidth;
+//  2. co-scheduling: every attached rollout (Attach/Detach) has a state
+//     pending, so nobody else can arrive until someone is answered — waiting
+//     longer is pure latency;
+//  3. dwell: a timer bounds the wait of the oldest pending state (~100µs), so
+//     a lone submitter with stale attach accounting is never stuck.
+//
+// At one concurrent client rule 2 fires on every submit, so batching adds no
+// latency when there is nothing to coalesce.
+//
+// Per-request results are computed by the same kernels in the same
+// per-row operation order as the B=1 serving engine, so at PrecisionFloat64
+// they are bit-identical to serveEngine.forward (test-enforced); the reduced
+// tiers are likewise bit-identical to their own B=1 paths.
+type Batcher struct {
+	cfg BatcherConfig
+	en  *batchEngine
+
+	mu       sync.Mutex
+	pending  []*batchReq
+	spare    []*batchReq // recycled backing array for the next pending batch
+	gen      uint64      // batch generation; guards stale dwell timers
+	timer    *time.Timer // armed when the current batch is non-empty
+	attached int
+
+	// engMu serialises batched forwards (the engine owns one scratch set);
+	// the next batch accumulates under mu while the previous one computes.
+	engMu sync.Mutex
+}
+
+// BatcherConfig tunes a Batcher. The zero value takes defaults.
+type BatcherConfig struct {
+	// MaxWidth is the batch width that forces an immediate flush. Default 8.
+	MaxWidth int
+	// Dwell bounds how long the oldest pending state may wait for company
+	// before the batch is flushed anyway. Default 100µs.
+	Dwell time.Duration
+	// OnFlush, when set, observes the width of every flushed batch.
+	OnFlush func(width int)
+	// OnWait, when set, observes each request's queue dwell (submit → flush).
+	OnWait func(d time.Duration)
+}
+
+// DefaultBatchWidth and DefaultBatchDwell are the BatcherConfig defaults.
+const (
+	DefaultBatchWidth = 8
+	DefaultBatchDwell = 100 * time.Microsecond
+)
+
+// batchReq is one state waiting for (or being answered by) a batched forward.
+// Requests are pooled; done is a reusable 1-buffered channel that receives
+// exactly one token per flush.
+type batchReq struct {
+	es       *EncodedState
+	enqueued time.Time
+	done     chan struct{}
+
+	dst      []float64 // caller-provided result buffer, grown if too small
+	logProbs []float64 // result (dst or its replacement), written before done
+	idleIdx  int
+}
+
+// reqPool recycles batchReqs (and their done channels) across submissions so
+// the steady-state hot path allocates nothing per decision.
+var reqPool = sync.Pool{New: func() any { return &batchReq{done: make(chan struct{}, 1)} }}
+
+// NewBatcher builds a batcher over the agent's parameters at the given
+// precision. Like the serving engine it panics on the DenseProp ablation,
+// which keeps the tape forward. The agent's parameters must stay immutable
+// while the batcher is in use (serving masters are).
+func NewBatcher(agent *Agent, prec Precision, cfg BatcherConfig) *Batcher {
+	if agent.Cfg.DenseProp {
+		panic("core: batched serving does not support DenseProp")
+	}
+	if cfg.MaxWidth < 1 {
+		cfg.MaxWidth = DefaultBatchWidth
+	}
+	if cfg.Dwell <= 0 {
+		cfg.Dwell = DefaultBatchDwell
+	}
+	return &Batcher{cfg: cfg, en: newBatchEngine(agent, prec)}
+}
+
+// Precision returns the numeric tier the batcher computes at.
+func (b *Batcher) Precision() Precision { return b.en.prec }
+
+// Attach declares one rollout that will submit states through Forward. The
+// batcher flushes as soon as every attached rollout has a state pending
+// (nobody left to wait for), which keeps latency flat at low concurrency.
+func (b *Batcher) Attach() {
+	b.mu.Lock()
+	b.attached++
+	b.mu.Unlock()
+}
+
+// Detach undoes Attach when the rollout finishes. If the remaining attached
+// rollouts all have states pending, the batch is flushed now rather than on
+// the dwell timer.
+func (b *Batcher) Detach() {
+	b.mu.Lock()
+	b.attached--
+	if len(b.pending) > 0 && len(b.pending) >= b.attached {
+		batch := b.takeLocked()
+		b.mu.Unlock()
+		b.run(batch)
+		return
+	}
+	b.mu.Unlock()
+}
+
+// Forward submits one encoded state and blocks until a batched forward has
+// answered it. dst, when non-nil, is used as the result buffer if it has the
+// capacity (callers that loop — one slot per decision — hand the previous
+// result back in and the hot path stays allocation-free); the returned slice
+// is owned by the caller either way. Safe for concurrent use from any number
+// of goroutines.
+func (b *Batcher) Forward(es *EncodedState, dst []float64) (logProbs []float64, idleIdx int) {
+	req := reqPool.Get().(*batchReq)
+	req.es, req.dst = es, dst
+	if b.cfg.OnWait != nil {
+		req.enqueued = time.Now()
+	}
+	b.mu.Lock()
+	b.pending = append(b.pending, req)
+	if n := len(b.pending); n >= b.cfg.MaxWidth || (b.attached > 0 && n >= b.attached) {
+		batch := b.takeLocked()
+		b.mu.Unlock()
+		// The last submitter computes the batch itself: no handoff to a
+		// flusher goroutine, and its own result is ready when run returns.
+		b.run(batch)
+	} else {
+		if len(b.pending) == 1 {
+			// First state of a new batch: bound its wait.
+			gen := b.gen
+			b.timer = time.AfterFunc(b.cfg.Dwell, func() { b.flushGen(gen) })
+		}
+		b.mu.Unlock()
+	}
+	// run sends one token to every request in the batch, the self-flusher's
+	// included — the receive below drains it so the pooled channel is empty
+	// for its next owner.
+	<-req.done
+	logProbs, idleIdx = req.logProbs, req.idleIdx
+	req.es, req.dst, req.logProbs = nil, nil, nil
+	reqPool.Put(req)
+	return logProbs, idleIdx
+}
+
+// takeLocked claims the pending batch; callers hold b.mu. The next batch
+// accumulates into the spare backing array (returned by the previous run), so
+// steady state reuses two arrays instead of growing a fresh one per batch.
+func (b *Batcher) takeLocked() []*batchReq {
+	batch := b.pending
+	b.pending = b.spare
+	b.spare = nil
+	b.gen++
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	return batch
+}
+
+// flushGen is the dwell-timer path: flush the batch the timer was armed for,
+// unless it was already flushed (generation moved on).
+func (b *Batcher) flushGen(gen uint64) {
+	b.mu.Lock()
+	if b.gen != gen || len(b.pending) == 0 {
+		b.mu.Unlock()
+		return
+	}
+	batch := b.takeLocked()
+	b.mu.Unlock()
+	b.run(batch)
+}
+
+// run executes one batched forward and wakes every waiter. Waiters are woken
+// even if the forward panics (the panic still propagates to the flusher), so
+// a malformed state can never strand the other requests in its batch.
+func (b *Batcher) run(batch []*batchReq) {
+	defer func() {
+		for i, r := range batch {
+			batch[i] = nil       // drop the ref before the pooled req is reused
+			r.done <- struct{}{} // 1-buffered and drained, never blocks
+		}
+		b.mu.Lock()
+		if b.spare == nil {
+			b.spare = batch[:0]
+		}
+		b.mu.Unlock()
+	}()
+	b.engMu.Lock()
+	defer b.engMu.Unlock()
+	b.en.forwardBatch(batch)
+	if b.cfg.OnFlush != nil {
+		b.cfg.OnFlush(len(batch))
+	}
+	if b.cfg.OnWait != nil {
+		now := time.Now()
+		for _, r := range batch {
+			b.cfg.OnWait(now.Sub(r.enqueued))
+		}
+	}
+}
+
+// batchEngine evaluates B encoded states in one pass over the serving
+// kernels. Every kernel on the path (MatMulInto, SpMMInto, AddRowVectorInto,
+// GatherRowsInto, MaxRowsInto and their reduced-tier counterparts) computes
+// each output row independently with a fixed accumulation order, so stacking
+// states as row blocks changes which rows exist, not what any row contains —
+// the foundation of the bit-identity guarantee (see TestBatchedBitIdentical).
+type batchEngine struct {
+	agent *Agent
+	prec  Precision
+
+	// Converted weights for the reduced tiers, in serveEngine's layer order.
+	layers []*nn.ServingLayer
+
+	// Block-diagonal stacked CSR of the batch's Norm matrices, rebuilt per
+	// flush and reused across every GCN layer (reduced tiers only — the
+	// float64 path propagates per segment on views instead, which is the same
+	// block-diagonal product without materialising the stacked CSR).
+	normRowPtr []int
+	normCol    []int
+	normVal    []float64
+	norm       tensor.Sparse
+
+	// float64 stacked scratch.
+	h, tmp, ready, score       tensor.Matrix
+	proc, procEmb, cat, idleSc tensor.Matrix
+	argBuf                     []int
+	readyRows                  []int
+	idleStates                 []int
+	offsets                    []int
+
+	// segA/segB are reusable header structs for segment views of the stacked
+	// scratch. The kernels take *Matrix, so a loop-local view header would
+	// escape to the heap on every call — several allocations per decision.
+	segA, segB tensor.Matrix
+
+	// float32 stacked scratch.
+	x32, h32, tmp32, ready32, score32 tensor.Matrix32
+	p32, procEmb32, cat32, idleSc32   tensor.Matrix32
+	val32                             []float32
+}
+
+func newBatchEngine(a *Agent, prec Precision) *batchEngine {
+	en := &batchEngine{agent: a, prec: prec}
+	if prec != PrecisionFloat64 {
+		en.layers = append(en.layers, nn.NewServingLayer(a.input.W, a.input.B))
+		for _, g := range a.gcn {
+			en.layers = append(en.layers, nn.NewServingLayer(g.W, g.B))
+		}
+		en.layers = append(en.layers,
+			nn.NewServingLayer(a.actor.W, a.actor.B),
+			nn.NewServingLayer(a.proc.W, a.proc.B),
+			nn.NewServingLayer(a.idle.W, a.idle.B))
+	}
+	return en
+}
+
+// forwardBatch answers every request in the batch: stacked forward, then a
+// per-state log-softmax into each request's own result slice.
+func (en *batchEngine) forwardBatch(batch []*batchReq) {
+	offsets, total := en.stackShapes(batch)
+	if en.prec == PrecisionFloat64 {
+		en.forwardBatchF64(batch, offsets, total)
+	} else {
+		en.forwardBatchReduced(batch, offsets, total)
+	}
+}
+
+// stackShapes computes each state's node-row offset in the stacked matrices
+// and validates the batch.
+func (en *batchEngine) stackShapes(batch []*batchReq) (offsets []int, total int) {
+	if cap(en.offsets) < len(batch) {
+		en.offsets = make([]int, len(batch))
+	}
+	offsets = en.offsets[:len(batch)]
+	for i, r := range batch {
+		if len(r.es.ReadyRows) == 0 {
+			panic("core: batched forward with no ready task")
+		}
+		offsets[i] = total
+		total += len(r.es.Nodes)
+	}
+	return offsets, total
+}
+
+// stackNorm builds the block-diagonal CSR of the batch's Norm matrices:
+// segment i's rows keep their nonzero order with columns shifted by its node
+// offset, so row r of the product SpMM(stacked, stacked-h) accumulates exactly
+// the terms row r-offset of SpMM(normᵢ, hᵢ) does, in the same order.
+func (en *batchEngine) stackNorm(batch []*batchReq, offsets []int, total int) {
+	nnz := 0
+	for _, r := range batch {
+		nnz += r.es.Norm.NNZ()
+	}
+	if cap(en.normRowPtr) < total+1 {
+		en.normRowPtr = make([]int, total+1)
+	}
+	en.normRowPtr = en.normRowPtr[:total+1]
+	if cap(en.normCol) < nnz {
+		en.normCol = make([]int, nnz)
+		en.normVal = make([]float64, nnz)
+	}
+	en.normCol, en.normVal = en.normCol[:nnz], en.normVal[:nnz]
+
+	pos := 0
+	en.normRowPtr[0] = 0
+	row := 0
+	for i, r := range batch {
+		s := r.es.Norm
+		off := offsets[i]
+		for ri := 0; ri < s.Rows; ri++ {
+			for k := s.RowPtr[ri]; k < s.RowPtr[ri+1]; k++ {
+				en.normCol[pos] = s.Col[k] + off
+				en.normVal[pos] = s.Val[k]
+				pos++
+			}
+			row++
+			en.normRowPtr[row] = pos
+		}
+	}
+	en.norm = tensor.Sparse{Rows: total, Cols: total, RowPtr: en.normRowPtr, Col: en.normCol, Val: en.normVal}
+}
+
+// setView points the reusable header v at state i's row block of a stacked
+// matrix, sharing the stacked storage. The serving kernels compute each output
+// row independently by relative index, so running them on a view is
+// bit-identical to running them on a standalone matrix with the same rows.
+func setView(v *tensor.Matrix, data []float64, off, rows, cols int) {
+	v.Rows, v.Cols = rows, cols
+	v.Data = data[off*cols : (off+rows)*cols]
+}
+
+// forwardBatchF64 is the float64 stacked forward: serveEngine.forwardF64's
+// exact operation sequence over row-stacked inputs. The dense layer products
+// (input, GCN weights, actor, proc, idle) run once over the stacked rows —
+// that is where batching pays, the weight panel streams through the cache once
+// per batch — while the GCN propagation runs per segment on views, since a
+// block-diagonal SpMM does no cross-segment work to amortise.
+func (en *batchEngine) forwardBatchF64(batch []*batchReq, offsets []int, total int) {
+	a := en.agent
+	hid := a.Cfg.Hidden
+
+	// h = ReLU(X*W_in + b_in): input product straight out of each state's own
+	// X into its segment of h (no stacked X copy), bias + ReLU once over the
+	// stack.
+	resizeMatrix(&en.h, total, hid)
+	for i, r := range batch {
+		setView(&en.segA, en.h.Data, offsets[i], len(r.es.Nodes), hid)
+		tensor.MatMulInto(r.es.X, a.input.W.Value, &en.segA)
+	}
+	tensor.AddRowVectorInto(&en.h, a.input.B.Value, &en.h)
+	reluInPlace(en.h.Data)
+
+	// GCN stack: h = ReLU(SpMM(norm, h)*W + b), propagation per segment.
+	resizeMatrix(&en.tmp, total, hid)
+	for _, g := range a.gcn {
+		for i, r := range batch {
+			n := len(r.es.Nodes)
+			setView(&en.segA, en.h.Data, offsets[i], n, hid)
+			setView(&en.segB, en.tmp.Data, offsets[i], n, hid)
+			tensor.SpMMInto(r.es.Norm, &en.segA, &en.segB)
+		}
+		tensor.MatMulInto(&en.tmp, g.W.Value, &en.h)
+		tensor.AddRowVectorInto(&en.h, g.B.Value, &en.h)
+		reluInPlace(en.h.Data)
+	}
+
+	// Actor scores: gather every state's ready rows (global offsets) into one
+	// stacked matrix and score them in a single matmul.
+	nReady := 0
+	for _, r := range batch {
+		nReady += len(r.es.ReadyRows)
+	}
+	if cap(en.readyRows) < nReady {
+		en.readyRows = make([]int, nReady)
+	}
+	en.readyRows = en.readyRows[:nReady]
+	pos := 0
+	for i, r := range batch {
+		for _, row := range r.es.ReadyRows {
+			en.readyRows[pos] = row + offsets[i]
+			pos++
+		}
+	}
+	resizeMatrix(&en.ready, nReady, hid)
+	tensor.GatherRowsInto(&en.h, en.readyRows, &en.ready)
+	resizeMatrix(&en.score, nReady, 1)
+	tensor.MatMulInto(&en.ready, a.actor.W.Value, &en.score)
+	tensor.AddRowVectorInto(&en.score, a.actor.B.Value, &en.score)
+
+	// ∅ scores for the idle-allowed states: stacked proc embedding, per-state
+	// maxpool over the state's own h segment, one stacked idle matmul.
+	idleStates := en.idleStates[:0]
+	for i, r := range batch {
+		if r.es.AllowIdle {
+			idleStates = append(idleStates, i)
+		}
+	}
+	en.idleStates = idleStates
+	if len(idleStates) > 0 {
+		procW := batch[idleStates[0]].es.Proc.Cols
+		resizeMatrix(&en.proc, len(idleStates), procW)
+		for j, i := range idleStates {
+			copy(en.proc.Row(j), batch[i].es.Proc.Data)
+		}
+		resizeMatrix(&en.procEmb, len(idleStates), hid)
+		tensor.MatMulInto(&en.proc, a.proc.W.Value, &en.procEmb)
+		tensor.AddRowVectorInto(&en.procEmb, a.proc.B.Value, &en.procEmb)
+		reluInPlace(en.procEmb.Data)
+		resizeMatrix(&en.cat, len(idleStates), 2*hid)
+		if cap(en.argBuf) < hid {
+			en.argBuf = make([]int, hid)
+		}
+		for j, i := range idleStates {
+			catRow := en.cat.Row(j)
+			copy(catRow[:hid], en.procEmb.Row(j))
+			setView(&en.segA, en.h.Data, offsets[i], len(batch[i].es.Nodes), hid)
+			en.segB.Rows, en.segB.Cols, en.segB.Data = 1, hid, catRow[hid:]
+			tensor.MaxRowsInto(&en.segA, &en.segB, en.argBuf[:hid])
+		}
+		resizeMatrix(&en.idleSc, len(idleStates), 1)
+		tensor.MatMulInto(&en.cat, a.idle.W.Value, &en.idleSc)
+	}
+
+	// Per-state results: slice this state's scores out of the stacked score
+	// column, append its ∅ score, log-softmax into the request's own buffer.
+	scorePos, idlePos := 0, 0
+	for _, r := range batch {
+		k := len(r.es.ReadyRows)
+		nActions := k
+		if r.es.AllowIdle {
+			nActions++
+		}
+		dst := r.dst
+		if cap(dst) < nActions {
+			dst = make([]float64, nActions)
+		}
+		dst = dst[:nActions]
+		copy(dst, en.score.Data[scorePos:scorePos+k])
+		scorePos += k
+		r.idleIdx = -1
+		if r.es.AllowIdle {
+			dst[k] = en.idleSc.Data[idlePos] + a.idle.B.Value.Data[0]
+			idlePos++
+			r.idleIdx = k
+		}
+		logSoftmaxInto(dst, dst)
+		r.logProbs = dst
+	}
+}
+
+// forwardBatchReduced is the float32 / int8-weight stacked forward, mirroring
+// serveEngine.forwardReduced row for row.
+func (en *batchEngine) forwardBatchReduced(batch []*batchReq, offsets []int, total int) {
+	a := en.agent
+	hid := a.Cfg.Hidden
+	input, gcns := en.layers[0], en.layers[1:1+len(a.gcn)]
+	actor, proc, idle := en.layers[1+len(a.gcn)], en.layers[2+len(a.gcn)], en.layers[3+len(a.gcn)]
+	en.stackNorm(batch, offsets, total)
+
+	feats := NodeFeatureWidth(a.Cfg.FaultFeatures)
+	en.x32.Reset(total, feats)
+	nnz := 0
+	for _, r := range batch {
+		nnz += r.es.Norm.NNZ()
+	}
+	if cap(en.val32) < nnz {
+		en.val32 = make([]float32, nnz)
+	}
+	en.val32 = en.val32[:nnz]
+	pos := 0
+	for i, r := range batch {
+		base := offsets[i] * feats
+		for j, v := range r.es.X.Data {
+			en.x32.Data[base+j] = float32(v)
+		}
+		for _, v := range r.es.Norm.Val {
+			en.val32[pos] = float32(v)
+			pos++
+		}
+	}
+
+	en.matmulReduced(&en.x32, input, &en.h32)
+	addRowReLU32(&en.h32, input.B32.Data)
+	for _, g := range gcns {
+		tensor.SpMM32Into(&en.norm, en.val32, &en.h32, &en.tmp32)
+		en.matmulReduced(&en.tmp32, g, &en.h32)
+		addRowReLU32(&en.h32, g.B32.Data)
+	}
+
+	nReady := 0
+	for _, r := range batch {
+		nReady += len(r.es.ReadyRows)
+	}
+	en.ready32.Reset(nReady, hid)
+	pos = 0
+	for i, r := range batch {
+		for _, row := range r.es.ReadyRows {
+			copy(en.ready32.Row(pos), en.h32.Row(row+offsets[i]))
+			pos++
+		}
+	}
+	en.matmulReduced(&en.ready32, actor, &en.score32)
+
+	idleStates := en.idleStates[:0]
+	for i, r := range batch {
+		if r.es.AllowIdle {
+			idleStates = append(idleStates, i)
+		}
+	}
+	en.idleStates = idleStates
+	if len(idleStates) > 0 {
+		procW := batch[idleStates[0]].es.Proc.Cols
+		en.p32.Reset(len(idleStates), procW)
+		for j, i := range idleStates {
+			for k, v := range batch[i].es.Proc.Data {
+				en.p32.Row(j)[k] = float32(v)
+			}
+		}
+		en.matmulReduced(&en.p32, proc, &en.procEmb32)
+		addRowReLU32(&en.procEmb32, proc.B32.Data)
+		en.cat32.Reset(len(idleStates), 2*hid)
+		for j, i := range idleStates {
+			catRow := en.cat32.Row(j)
+			copy(catRow[:hid], en.procEmb32.Row(j))
+			// Column-wise max pool over the state's own h segment (first row,
+			// then strict improvements) — serveEngine.forwardReduced's loop.
+			off, n := offsets[i], len(batch[i].es.Nodes)
+			pooled := catRow[hid:]
+			copy(pooled, en.h32.Row(off))
+			for ri := off + 1; ri < off+n; ri++ {
+				row := en.h32.Row(ri)
+				for c, v := range row {
+					if v > pooled[c] {
+						pooled[c] = v
+					}
+				}
+			}
+		}
+		en.matmulReduced(&en.cat32, idle, &en.idleSc32)
+	}
+
+	scorePos, idlePos := 0, 0
+	for _, r := range batch {
+		k := len(r.es.ReadyRows)
+		nActions := k
+		if r.es.AllowIdle {
+			nActions++
+		}
+		dst := r.dst
+		if cap(dst) < nActions {
+			dst = make([]float64, nActions)
+		}
+		dst = dst[:nActions]
+		for j := 0; j < k; j++ {
+			dst[j] = float64(en.score32.Data[scorePos+j] + actor.B32.Data[0])
+		}
+		scorePos += k
+		r.idleIdx = -1
+		if r.es.AllowIdle {
+			dst[k] = float64(en.idleSc32.Data[idlePos] + idle.B32.Data[0])
+			idlePos++
+			r.idleIdx = k
+		}
+		logSoftmaxInto(dst, dst)
+		r.logProbs = dst
+	}
+}
+
+// matmulReduced multiplies by the layer's weight at the engine's tier; the
+// destination must not alias a.
+func (en *batchEngine) matmulReduced(a *tensor.Matrix32, l *nn.ServingLayer, out *tensor.Matrix32) {
+	if en.prec == PrecisionInt8 {
+		tensor.MatMulQ8Into(a, l.W8, out)
+		return
+	}
+	tensor.MatMul32SkipInto(a, &l.W32, out)
+}

@@ -114,26 +114,12 @@ func (en *serveEngine) forward(es *EncodedState) (logProbs []float64, idleIdx in
 		en.forwardReduced(es)
 	}
 
-	// Log-softmax over the action scores, replicating autograd.LogSoftmaxCol.
 	k := len(en.logits)
-	maxv := math.Inf(-1)
-	for _, v := range en.logits {
-		if v > maxv {
-			maxv = v
-		}
-	}
-	var sum float64
-	for _, v := range en.logits {
-		sum += math.Exp(v - maxv)
-	}
-	logZ := maxv + math.Log(sum)
 	if cap(en.logProbs) < k {
 		en.logProbs = make([]float64, k)
 	}
 	en.logProbs = en.logProbs[:k]
-	for i, v := range en.logits {
-		en.logProbs[i] = v - logZ
-	}
+	logSoftmaxInto(en.logits, en.logProbs)
 	idleIdx = -1
 	if es.AllowIdle {
 		idleIdx = len(es.ReadyRows)
@@ -275,6 +261,27 @@ func (en *serveEngine) matmulReduced(a *tensor.Matrix32, l *nn.ServingLayer, out
 		return
 	}
 	tensor.MatMul32SkipInto(a, &l.W32, out)
+}
+
+// logSoftmaxInto writes the log-softmax of logits into dst (len(dst) ==
+// len(logits)), replicating autograd.LogSoftmaxCol in float64. Both the B=1
+// serving forward and the batched forward normalise through this one function,
+// so their per-state results cannot diverge at this step by construction.
+func logSoftmaxInto(logits, dst []float64) {
+	maxv := math.Inf(-1)
+	for _, v := range logits {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for _, v := range logits {
+		sum += math.Exp(v - maxv)
+	}
+	logZ := maxv + math.Log(sum)
+	for i, v := range logits {
+		dst[i] = v - logZ
+	}
 }
 
 func reluInPlace(xs []float64) {

@@ -58,6 +58,8 @@ type Policy struct {
 	// replaces the tape forward with the serving engine at prec.
 	inc    *incrementalEncoder
 	engine *serveEngine
+	batch  *Batcher
+	lpBuf  []float64 // reusable result buffer for batched forwards
 	prec   Precision
 	memo   map[memoKey]memoVal
 	noMemo bool
@@ -123,6 +125,19 @@ func (p *Policy) EnableServing(prec Precision) {
 	}
 	p.engine = newServeEngine(p.Agent, prec)
 	p.prec = prec
+}
+
+// UseBatcher routes the policy's serving forwards through a shared Batcher:
+// concurrent decisions on the same model coalesce into one row-batched pass.
+// The batcher's precision replaces any engine precision; at
+// core.PrecisionFloat64 decisions stay bit-identical to the unbatched path.
+// Panics on a recording (training) policy — batched forwards have no tape.
+func (p *Policy) UseBatcher(b *Batcher) {
+	if p.Record {
+		panic("core: batched serving on a recording (training) policy")
+	}
+	p.batch = b
+	p.prec = b.Precision()
 }
 
 // DisableIncrementalState forces a full EncodeFault rebuild on every decision
@@ -208,7 +223,10 @@ func (p *Policy) Decide(s *sim.State, r int) int {
 	start := time.Now()
 	var logProbs []float64
 	var idleIdx int
-	if p.engine != nil {
+	if p.batch != nil {
+		logProbs, idleIdx = p.batch.Forward(es, p.lpBuf)
+		p.lpBuf = logProbs // reuse the (possibly grown) buffer next decision
+	} else if p.engine != nil {
 		logProbs, idleIdx = p.engine.forward(es)
 	} else {
 		fw := p.Agent.Forward(es)

@@ -96,17 +96,19 @@ func (c *Client) retryBase() time.Duration {
 	return defaultRetryBase
 }
 
-// backoffDelay is the sleep before retry attempt i (1-based): the base delay
-// doubled per attempt, jittered uniformly over [0.5d, 1.5d).
-func backoffDelay(base time.Duration, attempt int) time.Duration {
+// BackoffDelay is the sleep before retry attempt i (1-based): the base delay
+// doubled per attempt, jittered uniformly over [0.5d, 1.5d). Exported because
+// it is the repository's one retry-backoff policy — the gateway's failover
+// path uses the same curve against serving replicas.
+func BackoffDelay(base time.Duration, attempt int) time.Duration {
 	d := base << (attempt - 1)
 	return d/2 + time.Duration(rand.Int63n(int64(d)))
 }
 
-// retriable reports whether a request outcome is worth re-sending: transport
+// Retriable reports whether a request outcome is worth re-sending: transport
 // errors (no status at all) and server-side 5xx failures. Every 4xx is an
 // application answer — a retry would just repeat it.
-func retriable(status int, err error) bool {
+func Retriable(status int, err error) bool {
 	return (err != nil && status == 0) || status >= http.StatusInternalServerError
 }
 
@@ -140,10 +142,10 @@ func (c *Client) send(method, path string, body, out any, retry bool, wantStatus
 	)
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
-			time.Sleep(backoffDelay(c.retryBase(), i))
+			time.Sleep(BackoffDelay(c.retryBase(), i))
 		}
 		status, err = c.doOnce(method, path, data, body != nil, out, wantStatus...)
-		if !retriable(status, err) {
+		if !Retriable(status, err) {
 			break
 		}
 	}

@@ -227,6 +227,26 @@ func (v *CounterVec) With(values ...string) *Counter {
 // Labels returns every label-value combination observed so far, sorted.
 func (v *CounterVec) Labels() [][]string { return v.f.labelValues() }
 
+// GaugeVec is a gauge family with one or more labels.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers a labelled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if len(labels) == 0 {
+		panic("obs: GaugeVec needs at least one label")
+	}
+	return &GaugeVec{f: r.family(name, help, kindGauge, labels)}
+}
+
+// With returns the gauge for the given label values, creating it on first
+// use.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.f.child(values, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Labels returns every label-value combination observed so far, sorted.
+func (v *GaugeVec) Labels() [][]string { return v.f.labelValues() }
+
 // HistogramVec is a histogram family with one or more labels.
 type HistogramVec struct{ f *family }
 

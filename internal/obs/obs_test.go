@@ -53,6 +53,36 @@ func TestRegistryText(t *testing.T) {
 	}
 }
 
+func TestGaugeVecText(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("readys_replica_up", "replica health", "replica")
+	v.With("http://a:1").Set(1)
+	v.With("http://b:2").Set(0)
+	v.With("http://a:1").Set(0) // overwrite, not accumulate
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE readys_replica_up gauge",
+		`readys_replica_up{replica="http://a:1"} 0`,
+		`readys_replica_up{replica="http://b:2"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	labels := v.Labels()
+	if len(labels) != 2 {
+		t.Fatalf("Labels() = %v, want 2 children", labels)
+	}
+	if v.With("http://a:1") != v.With("http://a:1") {
+		t.Fatal("same label values must return the same gauge")
+	}
+}
+
 func TestRegistryReuseAndConcurrency(t *testing.T) {
 	r := NewRegistry()
 	if r.Counter("x", "") != r.Counter("x", "") {

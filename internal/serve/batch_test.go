@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"readys/internal/taskgraph"
+)
+
+// TestBatchedServingBitIdentical drives one batched server and one unbatched
+// server with the same request mix and requires identical schedules: batching
+// is a throughput mechanism, never a behavioural one. The batched server
+// takes 8 concurrent clients so decisions genuinely coalesce (asserted via
+// the flush-width histogram below).
+func TestBatchedServingBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	writeTestModel(t, dir, testSpec(taskgraph.Cholesky, 4, 1, 1))
+
+	ref := New(Config{ModelsDir: dir, Workers: 1, Queue: 32, RequestTimeout: 30 * time.Second})
+	batched := New(Config{
+		ModelsDir: dir, Queue: 32, RequestTimeout: 30 * time.Second,
+		Batch: true, BatchWidth: 8, BatchDwell: 2 * time.Millisecond,
+	})
+
+	const clients = 8
+	mkReq := func(seed int64) ScheduleRequest {
+		return ScheduleRequest{Kind: "cholesky", T: 4, CPUs: 1, GPUs: 1, Seed: seed}
+	}
+
+	want := make([]ScheduleResponse, clients)
+	for i := range want {
+		rec, resp := postSchedule(t, ref.Handler(), mkReq(int64(i)))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("reference seed %d: status %d: %s", i, rec.Code, rec.Body.String())
+		}
+		want[i] = resp
+	}
+
+	// Batching coalesces decisions from rollouts that overlap in time. A
+	// GOMAXPROCS=1 test box runs each tiny rollout to completion before the
+	// next request is even admitted, so overlap is forced deterministically:
+	// plug every pool worker, admit all clients (they attach to the batcher
+	// and enqueue), then release the plugs so the rollouts start together.
+	barrier := make(chan struct{})
+	started := make(chan struct{}, clients)
+	for i := 0; i < clients; i++ {
+		go batched.pool.Do(context.Background(), func() {
+			started <- struct{}{}
+			<-barrier
+		})
+	}
+	for i := 0; i < clients; i++ {
+		<-started
+	}
+
+	got := make([]ScheduleResponse, clients)
+	codes := make([]int, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec, resp := postSchedule(t, batched.Handler(), mkReq(int64(i)))
+			codes[i], got[i] = rec.Code, resp
+		}(i)
+	}
+	for batched.pool.Queued() < clients {
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(barrier)
+	wg.Wait()
+
+	for i := range got {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("batched seed %d: status %d", i, codes[i])
+		}
+		if got[i].Makespan != want[i].Makespan {
+			t.Errorf("seed %d: batched makespan %v, unbatched %v", i, got[i].Makespan, want[i].Makespan)
+		}
+		if got[i].Decisions != want[i].Decisions || got[i].IdleDecisions != want[i].IdleDecisions {
+			t.Errorf("seed %d: decision counts diverged: batched %d/%d, unbatched %d/%d",
+				i, got[i].Decisions, got[i].IdleDecisions, want[i].Decisions, want[i].IdleDecisions)
+		}
+		if len(got[i].Placements) != len(want[i].Placements) {
+			t.Fatalf("seed %d: %d placements batched vs %d unbatched", i, len(got[i].Placements), len(want[i].Placements))
+		}
+		for j := range got[i].Placements {
+			if got[i].Placements[j] != want[i].Placements[j] {
+				t.Errorf("seed %d placement %d: batched %+v, unbatched %+v", i, j, got[i].Placements[j], want[i].Placements[j])
+			}
+		}
+	}
+
+	// The batch instrumentation must show real coalescing happened, and the
+	// exposition must carry the new families in Prometheus histogram shape.
+	rec := httptest.NewRecorder()
+	batched.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics?format=prometheus", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics: status %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, line := range []string{
+		"# TYPE readys_batch_width histogram",
+		"# TYPE readys_batch_dwell_us histogram",
+		`readys_batch_width_bucket{le="8"}`,
+		`readys_batch_dwell_us_bucket{le="100"}`,
+	} {
+		if !strings.Contains(body, line) {
+			t.Errorf("prometheus exposition missing %q", line)
+		}
+	}
+	flushes, decisions := promValue(t, body, "readys_batch_width_count"), promValue(t, body, "readys_batch_width_sum")
+	if flushes == 0 {
+		t.Fatal("batched server recorded zero batch flushes")
+	}
+	if decisions <= flushes {
+		t.Errorf("no coalescing: %v decisions over %v flushes (mean width %.2f)",
+			decisions, flushes, decisions/flushes)
+	}
+
+	// The unbatched server must not have grown batch series beyond zero.
+	rec = httptest.NewRecorder()
+	ref.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics?format=prometheus", nil))
+	if v := promValue(t, rec.Body.String(), "readys_batch_width_count"); v != 0 {
+		t.Errorf("unbatched server recorded %v batch flushes", v)
+	}
+}
+
+// promValue scans a Prometheus text exposition for an unlabelled sample line
+// and returns its value.
+func promValue(t testing.TB, body, name string) float64 {
+	t.Helper()
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimPrefix(line, name+" "), 64)
+		if err != nil {
+			t.Fatalf("parsing %q: %v", line, err)
+		}
+		return v
+	}
+	t.Fatalf("exposition has no sample %q", name)
+	return 0
+}
+
+// TestBatchConfigRaisesWorkerFloor pins the worker-floor rule: a batched
+// server must run at least BatchWidth workers, or rollouts could never
+// overlap enough to fill a batch.
+func TestBatchConfigRaisesWorkerFloor(t *testing.T) {
+	dir := t.TempDir()
+	writeTestModel(t, dir, testSpec(taskgraph.Cholesky, 2, 1, 1))
+	s := New(Config{ModelsDir: dir, Workers: 1, Batch: true, BatchWidth: 8})
+	if s.cfg.Workers != 8 {
+		t.Fatalf("Workers = %d with BatchWidth 8, want 8", s.cfg.Workers)
+	}
+	if s.cfg.BatchDwell != 0 {
+		t.Fatalf("BatchDwell defaulting is the batcher's job; config should stay 0, got %v", s.cfg.BatchDwell)
+	}
+}

@@ -21,6 +21,13 @@ func parallelRows(rows int, fn func(lo, hi int)) {
 	if workers > rows {
 		workers = rows
 	}
+	if workers <= 1 {
+		// One worker gains nothing from a goroutine hop; run inline. The
+		// split never changes results, only who computes which rows (see
+		// TestParallelOpsBitIdenticalAcrossWorkerCounts).
+		fn(0, rows)
+		return
+	}
 	chunk := (rows + workers - 1) / workers
 	var wg sync.WaitGroup
 	for lo := 0; lo < rows; lo += chunk {
