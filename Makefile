@@ -40,7 +40,7 @@ OBS_TMP ?= /tmp/readys-obs-smoke
 # fractional regression tolerance (0.20 = a key metric may be up to 20% worse
 # before the gate trips; raise via `make check BENCH_TOL=0.35` on known-slow
 # machines).
-BENCH_BASE ?= BENCH_09ca814.json
+BENCH_BASE ?= BENCH_273bd3e.json
 BENCH_TOL ?= 0.20
 
 .PHONY: check build vet test equiv race obs-smoke chaos-smoke stream-smoke fleet-smoke gateway-smoke bench bench-smoke bench-compare bench-serve serve fleet gateway
